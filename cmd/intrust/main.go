@@ -1,0 +1,105 @@
+// Command intrust regenerates the paper's figure and comparison tables
+// from live experiments on the simulator.
+//
+// Usage:
+//
+//	intrust [-quick] [fig1|arch|cachesca|transient|physical|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/intrust-sim/intrust/internal/core"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller sample sizes (faster, noisier)")
+	flag.Parse()
+	what := "all"
+	if flag.NArg() > 0 {
+		what = flag.Arg(0)
+	}
+	samples := 400
+	secretLen := 16
+	if *quick {
+		samples = 150
+		secretLen = 6
+	}
+	run := func(name string, f func() error) {
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s regenerated in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	selected := map[string]bool{what: true}
+	if what == "all" {
+		for _, k := range []string{"fig1", "arch", "cachesca", "transient", "physical"} {
+			selected[k] = true
+		}
+	}
+	any := false
+	if selected["fig1"] {
+		any = true
+		run("FIG1", func() error {
+			f, err := core.Figure1(*quick)
+			if err != nil {
+				return err
+			}
+			fmt.Print(f.Render())
+			return nil
+		})
+	}
+	if selected["arch"] {
+		any = true
+		run("TAB2", func() error {
+			t, err := core.Table2Architectures()
+			if err != nil {
+				return err
+			}
+			fmt.Print(t.String())
+			return nil
+		})
+	}
+	if selected["cachesca"] {
+		any = true
+		run("TAB3", func() error {
+			t, err := core.Table3CacheSCA(samples)
+			if err != nil {
+				return err
+			}
+			fmt.Print(t.String())
+			return nil
+		})
+	}
+	if selected["transient"] {
+		any = true
+		run("TAB4", func() error {
+			t, err := core.Table4Transient(secretLen)
+			if err != nil {
+				return err
+			}
+			fmt.Print(t.String())
+			return nil
+		})
+	}
+	if selected["physical"] {
+		any = true
+		run("TAB5", func() error {
+			t, err := core.Table5Physical(*quick)
+			if err != nil {
+				return err
+			}
+			fmt.Print(t.String())
+			return nil
+		})
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig1|arch|cachesca|transient|physical|all)\n", what)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,370 @@
+// Package cachesca implements the software cache side-channel attacks of
+// Section 4.1 — Evict+Time and Prime+Probe (Osvik–Shamir–Tromer),
+// Flush+Reload (Yarom–Falkner), a TLB channel (Gras et al.) and BTB
+// branch shadowing (Lee et al.) — against the T-table AES victim, and
+// measures them under each architecture's defense: none (SGX, TrustZone),
+// LLC partitioning (Sanctum), cache exclusion from shared levels
+// (Sanctuary), index randomization, and flush-on-switch.
+//
+// Key-recovery methodology (first-round attack): in round 1 the T-table
+// index for state byte i is pt[i] XOR k[i]. A cache line holds 16 table
+// entries, so observing which line was touched yields the upper nibble of
+// pt[i]^k[i]; correlating over many known plaintexts recovers the upper
+// nibble of every key byte — the classic 64-bit reduction of the OST
+// attack.
+package cachesca
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/intrust-sim/intrust/internal/cache"
+	"github.com/intrust-sim/intrust/internal/softcrypto"
+)
+
+// Geometry constants of the victim tables.
+const (
+	tableStride = 0x400 // one 1 KiB T-table
+	lineSize    = 64
+	linesPerTab = tableStride / lineSize // 16
+	entriesLine = lineSize / 4           // 16 table entries per line
+)
+
+// Victim is a T-table AES encryption service whose table lookups travel
+// through the simulated cache hierarchy, tagged with the victim's domain.
+type Victim struct {
+	aes    *softcrypto.TableAES
+	hier   *cache.Hierarchy
+	domain int
+	base   uint32 // T0 base; T1..T3 and the S-box follow at tableStride
+	key    []byte
+
+	// lastCycles accumulates lookup latency of the last encryption.
+	lastCycles int
+}
+
+// NewVictim places the victim's tables at base in the simulated address
+// space and wires the lookup hook.
+func NewVictim(h *cache.Hierarchy, key []byte, domain int, base uint32) (*Victim, error) {
+	ta, err := softcrypto.NewTableAES(key)
+	if err != nil {
+		return nil, err
+	}
+	v := &Victim{aes: ta, hier: h, domain: domain, base: base, key: key}
+	ta.Hook = func(table int, idx byte) {
+		r := h.Data(v.TableLineAddr(table, idx), false, domain)
+		v.lastCycles += r.Latency
+	}
+	return v, nil
+}
+
+// TableLineAddr returns the simulated address of a table entry.
+func (v *Victim) TableLineAddr(table int, idx byte) uint32 {
+	return v.base + uint32(table)*tableStride + uint32(idx)*4
+}
+
+// Encrypt runs one encryption, driving the cache.
+func (v *Victim) Encrypt(pt []byte) [16]byte {
+	v.lastCycles = 0
+	return v.aes.Encrypt(pt)
+}
+
+// EncryptTimed runs one encryption and reports its cache latency — the
+// externally observable execution time Evict+Time needs.
+func (v *Victim) EncryptTimed(pt []byte) ([16]byte, int) {
+	v.lastCycles = 0
+	ct := v.aes.Encrypt(pt)
+	return ct, v.lastCycles
+}
+
+// Key exposes the true key for scoring.
+func (v *Victim) Key() []byte { return v.key }
+
+// Result reports a key-recovery attempt.
+type Result struct {
+	Attack         string
+	Defense        string
+	Samples        int
+	NibblesCorrect int // of 16 upper nibbles
+	Success        bool
+}
+
+func (r Result) String() string {
+	defense := r.Defense
+	if defense == "" {
+		defense = "no defense"
+	}
+	return fmt.Sprintf("%-14s vs %-18s: %2d/16 key nibbles after %d samples (success=%v)",
+		r.Attack, defense, r.NibblesCorrect, r.Samples, r.Success)
+}
+
+// score tallies per-byte guesses: counts[i][line] accumulates evidence
+// that T-line `line` was hot when the plaintext byte was pt[i].
+type scoreboard struct {
+	counts [16][16]float64
+}
+
+// add credits all key guesses consistent with an observed hot line.
+func (s *scoreboard) add(byteIdx int, ptByte byte, hot [16]bool, weight float64) {
+	for line := 0; line < 16; line++ {
+		if !hot[line] {
+			continue
+		}
+		// Key upper nibble consistent with this hot line:
+		// (pt ^ k) >> 4 == line  =>  k_hi == line ^ (pt >> 4).
+		s.counts[byteIdx][line^int(ptByte>>4)] += weight
+	}
+}
+
+// best returns the most likely upper nibble for a key byte.
+func (s *scoreboard) best(byteIdx int) int {
+	bi, bv := 0, -1.0
+	for n := 0; n < 16; n++ {
+		if s.counts[byteIdx][n] > bv {
+			bi, bv = n, s.counts[byteIdx][n]
+		}
+	}
+	return bi
+}
+
+func (s *scoreboard) grade(key []byte) int {
+	correct := 0
+	for i := 0; i < 16; i++ {
+		if s.best(i) == int(key[i]>>4) {
+			correct++
+		}
+	}
+	return correct
+}
+
+// FlushReload runs the Flush+Reload attack: the attacker shares the table
+// pages with the victim (shared library / page dedup), flushes the lines,
+// lets the victim encrypt, and reloads each line timing the access.
+func FlushReload(v *Victim, samples int, attackerDomain int, rng *rand.Rand) Result {
+	var sb scoreboard
+	threshold := v.hier.HitLatency() + 2
+	pt := make([]byte, 16)
+	for n := 0; n < samples; n++ {
+		rng.Read(pt)
+		// Flush every line of all four T-tables.
+		for tab := 0; tab < 4; tab++ {
+			for line := 0; line < linesPerTab; line++ {
+				v.hier.FlushAddr(v.base + uint32(tab)*tableStride + uint32(line*lineSize))
+			}
+		}
+		v.Encrypt(pt)
+		// Reload, one table per state byte class.
+		var hot [4][16]bool
+		for tab := 0; tab < 4; tab++ {
+			for line := 0; line < linesPerTab; line++ {
+				r := v.hier.Data(v.base+uint32(tab)*tableStride+uint32(line*lineSize), false, attackerDomain)
+				hot[tab][line] = r.Latency <= threshold
+			}
+		}
+		for i := 0; i < 16; i++ {
+			sb.add(i, pt[i], hot[i%4], 1)
+		}
+	}
+	correct := sb.grade(v.key)
+	return Result{Attack: "flush+reload", Samples: samples,
+		NibblesCorrect: correct, Success: correct >= 14}
+}
+
+// PrimeProbe runs the Prime+Probe attack through the shared LLC: the
+// attacker fills the LLC sets backing the victim's table lines with its
+// own data, lets the victim encrypt, then re-touches its data counting
+// evictions. No shared memory needed.
+func PrimeProbe(v *Victim, llc *cache.Cache, samples int, attackerDomain int, rng *rand.Rand) Result {
+	var sb scoreboard
+	cfg := llc.Config()
+	stride := uint32(cfg.Sets * cfg.LineSize)
+	attackerBase := uint32(0x2000000)
+	pt := make([]byte, 16)
+	evictionSet := func(target uint32) []uint32 {
+		// Attacker addresses that map (in the attacker's view) to the
+		// same LLC set as target.
+		setOff := target % stride
+		out := make([]uint32, cfg.Ways)
+		for w := 0; w < cfg.Ways; w++ {
+			out[w] = attackerBase + uint32(w)*stride + setOff
+		}
+		return out
+	}
+	for n := 0; n < samples; n++ {
+		rng.Read(pt)
+		// Prime all table-line sets.
+		for tab := 0; tab < 4; tab++ {
+			for line := 0; line < linesPerTab; line++ {
+				for _, a := range evictionSet(v.base + uint32(tab)*tableStride + uint32(line*lineSize)) {
+					llc.Access(a, false, attackerDomain)
+				}
+			}
+		}
+		v.Encrypt(pt)
+		// Probe: a miss on our own line means the victim displaced us.
+		var hot [4][16]bool
+		for tab := 0; tab < 4; tab++ {
+			for line := 0; line < linesPerTab; line++ {
+				misses := 0
+				for _, a := range evictionSet(v.base + uint32(tab)*tableStride + uint32(line*lineSize)) {
+					if !llc.Access(a, false, attackerDomain) {
+						misses++
+					}
+				}
+				hot[tab][line] = misses > 0
+			}
+		}
+		for i := 0; i < 16; i++ {
+			sb.add(i, pt[i], hot[i%4], 1)
+		}
+	}
+	correct := sb.grade(v.key)
+	return Result{Attack: "prime+probe", Samples: samples,
+		NibblesCorrect: correct, Success: correct >= 14}
+}
+
+// EvictTime runs the Evict+Time attack: warm the tables, evict one
+// candidate line, time the victim's whole encryption, and correlate the
+// slowdown with the plaintext. The signal is statistical: a late-round
+// access touches a random line with probability ~1-(15/16)^n, but the
+// correct first-round key guess predicts a GUARANTEED touch, so the mean
+// time of predicted-touch samples exceeds the rest. Slower and noisier
+// than the resident-attacker techniques, as published.
+func EvictTime(v *Victim, samples int, rng *rand.Rand) Result {
+	// Differential scoring per (byte, guess): mean time when the guess
+	// predicts the evicted line was touched vs when it does not.
+	var sumIn, sumOut, nIn, nOut [16][16]float64
+	pt := make([]byte, 16)
+	for n := 0; n < samples; n++ {
+		rng.Read(pt)
+		line := n % linesPerTab
+		tab := (n / linesPerTab) % 4
+		// Deterministically warm every table line, then evict the target.
+		for tb := 0; tb < 5; tb++ {
+			for l := 0; l < linesPerTab; l++ {
+				v.hier.Data(v.base+uint32(tb)*tableStride+uint32(l*lineSize), false, v.domain)
+			}
+		}
+		v.hier.FlushAddr(v.base + uint32(tab)*tableStride + uint32(line*lineSize))
+		_, cycles := v.EncryptTimed(pt)
+		for i := tab; i < 16; i += 4 {
+			for k := 0; k < 16; k++ {
+				// Guess k as the upper nibble of key byte i.
+				predictedLine := int(pt[i]>>4) ^ k
+				if predictedLine == line {
+					sumIn[i][k] += float64(cycles)
+					nIn[i][k]++
+				} else {
+					sumOut[i][k] += float64(cycles)
+					nOut[i][k]++
+				}
+			}
+		}
+	}
+	correct := 0
+	for i := 0; i < 16; i++ {
+		bestK, bestD := 0, -1e18
+		for k := 0; k < 16; k++ {
+			if nIn[i][k] == 0 || nOut[i][k] == 0 {
+				continue
+			}
+			d := sumIn[i][k]/nIn[i][k] - sumOut[i][k]/nOut[i][k]
+			if d > bestD {
+				bestK, bestD = k, d
+			}
+		}
+		if bestK == int(v.key[i]>>4) {
+			correct++
+		}
+	}
+	return Result{Attack: "evict+time", Samples: samples,
+		NibblesCorrect: correct, Success: correct >= 10}
+}
+
+// TLBAttack mounts a Prime+Probe on the shared TLB: the victim translates
+// one of two pages depending on each secret bit (the key-dependent data
+// page access pattern of TLBleed); the attacker occupies the TLB sets and
+// watches which one loses an entry.
+func TLBAttack(tlb *cache.TLB, secret []byte, victimASID, attackerASID int) (recovered []byte, correct int) {
+	pageA, pageB := uint32(0x100), uint32(0x101) // distinct TLB sets
+	totalBits := len(secret) * 8
+	out := make([]byte, len(secret))
+	for bit := 0; bit < totalBits; bit++ {
+		// Attacker primes both candidate sets fully.
+		for _, vpn := range []uint32{pageA, pageB} {
+			set := tlb.SetIndexOf(vpn)
+			for w := 0; w < tlb.Ways(); w++ {
+				tlb.Insert(uint32(set)+uint32(w*tlb.Sets()), attackerASID, 1)
+			}
+		}
+		// Victim translates the secret-dependent page.
+		b := secret[bit/8] >> (bit % 8) & 1
+		vpn := pageA
+		if b == 1 {
+			vpn = pageB
+		}
+		tlb.Insert(vpn, victimASID, 1)
+		// Probe: which of the attacker's sets lost an entry?
+		lostA := tlbLost(tlb, pageA, attackerASID)
+		lostB := tlbLost(tlb, pageB, attackerASID)
+		guess := byte(0)
+		if lostB && !lostA {
+			guess = 1
+		}
+		out[bit/8] |= guess << (bit % 8)
+	}
+	for i := range out {
+		for b := 0; b < 8; b++ {
+			if out[i]>>b&1 == secret[i]>>b&1 {
+				correct++
+			}
+		}
+	}
+	return out, correct
+}
+
+func tlbLost(tlb *cache.TLB, basevpn uint32, asid int) bool {
+	set := tlb.SetIndexOf(basevpn)
+	for w := 0; w < tlb.Ways(); w++ {
+		if _, hit := tlb.Lookup(uint32(set)+uint32(w*tlb.Sets()), asid); !hit {
+			return true
+		}
+	}
+	return false
+}
+
+// BranchShadow mounts the BTB/PHT branch-shadowing attack: the victim's
+// secret-dependent branch trains the shared, VA-indexed predictor; the
+// attacker "shadows" it by querying the prediction at the same virtual
+// address.
+type BranchPredictor interface {
+	PredictBranch(pc uint32) bool
+	UpdateBranch(pc uint32, taken bool)
+}
+
+// BranchShadow recovers secret bits through the shared predictor.
+// trainings is how many times the victim executes the branch per bit.
+func BranchShadow(pred BranchPredictor, secret []byte, trainings int) (recovered []byte, correct int) {
+	const branchVA = 0x1000
+	out := make([]byte, len(secret))
+	totalBits := len(secret) * 8
+	for bit := 0; bit < totalBits; bit++ {
+		b := secret[bit/8] >> (bit % 8) & 1
+		// Victim: branch taken iff the secret bit is 1.
+		for i := 0; i < trainings; i++ {
+			pred.UpdateBranch(branchVA, b == 1)
+		}
+		// Attacker shadow-queries the prediction at the aliased address.
+		if pred.PredictBranch(branchVA) {
+			out[bit/8] |= 1 << (bit % 8)
+		}
+	}
+	for i := range out {
+		for b := 0; b < 8; b++ {
+			if out[i]>>b&1 == secret[i]>>b&1 {
+				correct++
+			}
+		}
+	}
+	return out, correct
+}

@@ -1,0 +1,224 @@
+package cachesca
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/intrust-sim/intrust/internal/cache"
+	"github.com/intrust-sim/intrust/internal/cpu"
+	"github.com/intrust-sim/intrust/internal/platform"
+)
+
+const (
+	victimDomain   = 5
+	attackerDomain = 9
+	tableBase      = 0x40000
+)
+
+func testSetup(t *testing.T) (*Victim, *platform.Platform) {
+	t.Helper()
+	p := platform.NewServer()
+	v, err := NewVictim(p.Core(0).Hier, []byte("sixteen byte key"), victimDomain, tableBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, p
+}
+
+func TestFlushReloadRecoversKeyNibbles(t *testing.T) {
+	v, _ := testSetup(t)
+	res := FlushReload(v, 300, attackerDomain, rand.New(rand.NewSource(1)))
+	if !res.Success {
+		t.Fatalf("Flush+Reload failed on undefended platform: %v", res)
+	}
+	if res.NibblesCorrect < 14 {
+		t.Fatalf("nibbles = %d", res.NibblesCorrect)
+	}
+}
+
+func TestPrimeProbeRecoversKeyNibbles(t *testing.T) {
+	v, p := testSetup(t)
+	res := PrimeProbe(v, p.LLC, 400, attackerDomain, rand.New(rand.NewSource(2)))
+	if !res.Success {
+		t.Fatalf("Prime+Probe failed on undefended platform: %v", res)
+	}
+}
+
+func TestEvictTimeRecoversSignal(t *testing.T) {
+	v, _ := testSetup(t)
+	res := EvictTime(v, 3000, rand.New(rand.NewSource(3)))
+	if res.NibblesCorrect < 8 {
+		t.Fatalf("Evict+Time too weak: %v", res)
+	}
+}
+
+func TestPrimeProbeBlockedByWayPartition(t *testing.T) {
+	// Sanctum-style isolation modelled as LLC partitioning: victim and
+	// attacker confined to disjoint ways.
+	v, p := testSetup(t)
+	p.LLC.SetPartition(victimDomain, 0x00ff)
+	p.LLC.SetPartition(attackerDomain, 0xff00)
+	res := PrimeProbe(v, p.LLC, 400, attackerDomain, rand.New(rand.NewSource(4)))
+	if res.Success {
+		t.Fatalf("Prime+Probe succeeded across partition: %v", res)
+	}
+}
+
+func TestPrimeProbeBlockedByRandomizedIndex(t *testing.T) {
+	v, p := testSetup(t)
+	p.LLC.SetRandomizedIndex(victimDomain, 0xfeedface)
+	res := PrimeProbe(v, p.LLC, 400, attackerDomain, rand.New(rand.NewSource(5)))
+	if res.Success {
+		t.Fatalf("Prime+Probe succeeded against randomized mapping: %v", res)
+	}
+}
+
+func TestPrimeProbeBlockedByCacheExclusion(t *testing.T) {
+	// Sanctuary-style: victim table addresses never enter shared levels.
+	v, p := testSetup(t)
+	p.Core(0).Hier.Cacheability = func(addr uint32) cache.Level {
+		if addr >= tableBase && addr < tableBase+5*tableStride {
+			return cache.LevelL1
+		}
+		return cache.LevelAll
+	}
+	res := PrimeProbe(v, p.LLC, 400, attackerDomain, rand.New(rand.NewSource(6)))
+	if res.Success {
+		t.Fatalf("Prime+Probe succeeded despite exclusion: %v", res)
+	}
+}
+
+func TestFlushReloadBlockedByExclusionPlusFlush(t *testing.T) {
+	// Exclusion alone leaves same-core L1 signal; adding flush-on-switch
+	// (both Sanctuary and Sanctum do this) removes it. Model the flush by
+	// wrapping the victim call — here we emulate with an L1 flush between
+	// encrypt and reload, as the architecture performs on exit.
+	v, p := testSetup(t)
+	rng := rand.New(rand.NewSource(7))
+	var sb scoreboard
+	threshold := v.hier.HitLatency() + 2
+	pt := make([]byte, 16)
+	for n := 0; n < 300; n++ {
+		rng.Read(pt)
+		for tab := 0; tab < 4; tab++ {
+			for line := 0; line < linesPerTab; line++ {
+				v.hier.FlushAddr(tableBase + uint32(tab)*tableStride + uint32(line*lineSize))
+			}
+		}
+		v.Encrypt(pt)
+		p.Core(0).Hier.FlushAll() // enclave-exit hygiene: private + shared
+		var hot [4][16]bool
+		for tab := 0; tab < 4; tab++ {
+			for line := 0; line < linesPerTab; line++ {
+				r := v.hier.Data(tableBase+uint32(tab)*tableStride+uint32(line*lineSize), false, attackerDomain)
+				hot[tab][line] = r.Latency <= threshold
+			}
+		}
+		for i := 0; i < 16; i++ {
+			sb.add(i, pt[i], hot[i%4], 1)
+		}
+	}
+	if sb.grade(v.Key()) >= 14 {
+		t.Fatal("flush-on-switch did not stop Flush+Reload")
+	}
+}
+
+func TestTLBAttackOnSharedTLB(t *testing.T) {
+	tlb := cache.NewTLB(32, 4)
+	secret := []byte{0xA5, 0x3C, 0x96}
+	_, correct := TLBAttack(tlb, secret, 1, 2)
+	if correct < len(secret)*8-2 {
+		t.Fatalf("TLB attack recovered %d/%d bits", correct, len(secret)*8)
+	}
+}
+
+func TestTLBAttackNeedsSharedTLB(t *testing.T) {
+	// Defense: give the victim a private TLB (per-context TLB
+	// partitioning). The attacker probes a TLB the victim never touches;
+	// no eviction signal means the attack emits its default guess (0),
+	// which carries no information about an all-ones secret.
+	sharedByAttackerOnly := cache.NewTLB(32, 4)
+	secret := []byte{0xFF, 0xFF} // every true bit is 1
+	recovered, correct := tlbAttackWithoutVictim(sharedByAttackerOnly, secret, 2)
+	if correct != 0 {
+		t.Fatalf("attack recovered %d bits without a shared TLB (recovered=%x)", correct, recovered)
+	}
+}
+
+// tlbAttackWithoutVictim replays the attacker's half of TLBAttack with the
+// victim absent (running on a private TLB).
+func tlbAttackWithoutVictim(tlb *cache.TLB, secret []byte, attackerASID int) ([]byte, int) {
+	pageA, pageB := uint32(0x100), uint32(0x101)
+	out := make([]byte, len(secret))
+	for bit := 0; bit < len(secret)*8; bit++ {
+		for _, vpn := range []uint32{pageA, pageB} {
+			set := tlb.SetIndexOf(vpn)
+			for w := 0; w < tlb.Ways(); w++ {
+				tlb.Insert(uint32(set)+uint32(w*tlb.Sets()), attackerASID, 1)
+			}
+		}
+		lostA := tlbLost(tlb, pageA, attackerASID)
+		lostB := tlbLost(tlb, pageB, attackerASID)
+		if lostB && !lostA {
+			out[bit/8] |= 1 << (bit % 8)
+		}
+	}
+	correct := 0
+	for i := range out {
+		for b := 0; b < 8; b++ {
+			if out[i]>>b&1 == secret[i]>>b&1 {
+				correct++
+			}
+		}
+	}
+	return out, correct
+}
+
+func TestBranchShadowingRecoversBits(t *testing.T) {
+	pred := cpu.NewPredictor(1024, 256, 8)
+	secret := []byte{0xC3, 0x5A}
+	_, correct := BranchShadow(pred, secret, 40)
+	if correct < len(secret)*8-1 {
+		t.Fatalf("branch shadowing recovered %d/%d bits", correct, len(secret)*8)
+	}
+}
+
+func TestBranchShadowingBlockedByPredictorFlush(t *testing.T) {
+	// Predictor isolation: flush between victim and attacker.
+	pred := cpu.NewPredictor(1024, 256, 8)
+	secret := []byte{0xC3}
+	out := make([]byte, 1)
+	for bit := 0; bit < 8; bit++ {
+		b := secret[0] >> bit & 1
+		for i := 0; i < 40; i++ {
+			pred.UpdateBranch(0x1000, b == 1)
+		}
+		pred.Flush() // the mitigation
+		if pred.PredictBranch(0x1000) {
+			out[0] |= 1 << bit
+		}
+	}
+	correct := 0
+	for b := 0; b < 8; b++ {
+		if out[0]>>b&1 == secret[0]>>b&1 {
+			correct++
+		}
+	}
+	if correct == 8 {
+		t.Fatal("predictor flush did not degrade branch shadowing")
+	}
+}
+
+func TestVictimEncryptionCorrectness(t *testing.T) {
+	// Instrumentation must not change ciphertexts.
+	v, _ := testSetup(t)
+	pt := []byte("test plaintext!!")
+	ct1 := v.Encrypt(pt)
+	ct2, cycles := v.EncryptTimed(pt)
+	if ct1 != ct2 {
+		t.Fatal("timed encryption differs")
+	}
+	if cycles <= 0 {
+		t.Fatal("no cache cost recorded")
+	}
+}

@@ -1,0 +1,105 @@
+package physical
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/intrust-sim/intrust/internal/softcrypto"
+)
+
+// Property: the Piret–Quisquater key filter recovers the correct column
+// key bytes for arbitrary keys and arbitrary nonzero fault values.
+func TestDFAColumnCandidatesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func() bool {
+		key := make([]byte, 16)
+		rng.Read(key)
+		rk := softcrypto.MustExpandKey(key)
+		pt := make([]byte, 16)
+		rng.Read(pt)
+		clean := softcrypto.Encrypt(&rk, pt, nil)
+		col := rng.Intn(4)
+		xor := byte(1 + rng.Intn(255))
+		faulty := softcrypto.Encrypt(&rk, pt, &softcrypto.Hooks{
+			RoundIn: func(round int, s *[16]byte) {
+				if round == 9 {
+					s[4*col] ^= xor
+				}
+			},
+		})
+		cands := columnCandidates(clean, faulty, col)
+		// The true round-10 key bytes for this column must be among the
+		// candidates.
+		var want [4]byte
+		for r := 0; r < 4; r++ {
+			want[r] = rk[10][softcrypto.ShiftRowsIndex(r, col)]
+		}
+		return cands[want]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FaultedColumn classifies round-9 faults by column and rejects
+// fault patterns from other rounds.
+func TestFaultedColumnClassification(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	key := make([]byte, 16)
+	rng.Read(key)
+	rk := softcrypto.MustExpandKey(key)
+	pt := make([]byte, 16)
+	rng.Read(pt)
+	clean := softcrypto.Encrypt(&rk, pt, nil)
+	for trial := 0; trial < 40; trial++ {
+		pos := rng.Intn(16)
+		xor := byte(1 + rng.Intn(255))
+		round := 9
+		if trial%4 == 0 {
+			round = 7 // unusable: fault spreads to all 16 bytes
+		}
+		faulty := softcrypto.Encrypt(&rk, pt, &softcrypto.Hooks{
+			RoundIn: func(r int, s *[16]byte) {
+				if r == round {
+					s[pos] ^= xor
+				}
+			},
+		})
+		col := FaultedColumn(clean, faulty)
+		if round == 7 {
+			if col != -1 {
+				t.Fatalf("round-7 fault classified as column %d", col)
+			}
+			continue
+		}
+		// Round-9 fault at state position (r0, c0): lands in output
+		// column (c0 - r0) mod 4 after round 9's ShiftRows.
+		r0, c0 := pos%4, pos/4
+		want := (c0 - r0 + 4) % 4
+		if col != want {
+			t.Fatalf("round-9 fault at pos %d classified as column %d, want %d", pos, col, want)
+		}
+	}
+}
+
+// Property: DFA recovers arbitrary random keys via the oracle interface.
+func TestDFARandomKeysQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	f := func() bool {
+		key := make([]byte, 16)
+		rng.Read(key)
+		oracle, err := NewFaultOracle(key)
+		if err != nil {
+			return false
+		}
+		got, _, err := PiretQuisquater(oracle, 2)
+		if err != nil {
+			return false
+		}
+		return CorrectBytes(got, key) == 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4}); err != nil {
+		t.Fatal(err)
+	}
+}

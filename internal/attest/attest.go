@@ -1,0 +1,249 @@
+// Package attest implements the attestation and sealed-storage primitives
+// every surveyed architecture builds on: code measurement (hash chains),
+// MAC-based attestation reports (SMART's HMAC over region‖params‖nonce),
+// ECDSA-signed quotes for remote attestation (SGX's quoting model), nonce
+// freshness tracking, and measurement-bound sealing (AES-GCM under a key
+// derived from the platform secret and the enclave identity).
+package attest
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Measurement is a SHA-256 digest identifying code and initial data.
+type Measurement [sha256.Size]byte
+
+// Measure hashes a single blob.
+func Measure(data []byte) Measurement { return sha256.Sum256(data) }
+
+// Extend chains a new measurement onto an existing one (TPM-PCR style):
+// m' = H(m ‖ H(data)). Load-order therefore matters, as it should.
+func (m Measurement) Extend(data []byte) Measurement {
+	h := sha256.New()
+	h.Write(m[:])
+	d := sha256.Sum256(data)
+	h.Write(d[:])
+	var out Measurement
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// String renders the first 8 bytes, enough for logs.
+func (m Measurement) String() string { return fmt.Sprintf("%x", m[:8]) }
+
+// Report is a local attestation report: a MAC over the measurement, the
+// challenger's nonce, and optional application data, keyed with a secret
+// only the trusted hardware/ROM can access.
+type Report struct {
+	Measurement Measurement
+	Nonce       []byte
+	AppData     []byte
+	MAC         []byte
+}
+
+func reportDigestInput(m Measurement, nonce, appData []byte) []byte {
+	var buf bytes.Buffer
+	buf.Write(m[:])
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(nonce)))
+	buf.Write(n[:])
+	buf.Write(nonce)
+	binary.LittleEndian.PutUint32(n[:], uint32(len(appData)))
+	buf.Write(n[:])
+	buf.Write(appData)
+	return buf.Bytes()
+}
+
+// NewReport MACs (measurement, nonce, appData) under key.
+func NewReport(key []byte, m Measurement, nonce, appData []byte) *Report {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(reportDigestInput(m, nonce, appData))
+	return &Report{Measurement: m, Nonce: nonce, AppData: appData, MAC: mac.Sum(nil)}
+}
+
+// VerifyReport checks the MAC with the shared key.
+func VerifyReport(key []byte, r *Report) bool {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(reportDigestInput(r.Measurement, r.Nonce, r.AppData))
+	return hmac.Equal(mac.Sum(nil), r.MAC)
+}
+
+// Quote is a remotely verifiable report: an ECDSA signature instead of a
+// shared-key MAC, so verification needs only the platform's public key —
+// the SGX remote-attestation shape (Foreshadow's headline damage was
+// extracting exactly these signing keys).
+type Quote struct {
+	Report    Report
+	Signature []byte
+}
+
+// QuotingKey is the platform attestation key pair.
+type QuotingKey struct {
+	priv *ecdsa.PrivateKey
+}
+
+// NewQuotingKey generates a P-256 attestation key.
+func NewQuotingKey() (*QuotingKey, error) {
+	k, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("attest: quoting key: %w", err)
+	}
+	return &QuotingKey{priv: k}, nil
+}
+
+// Public returns the verification key.
+func (q *QuotingKey) Public() *ecdsa.PublicKey { return &q.priv.PublicKey }
+
+// PrivateBytes exposes the raw scalar — used only by the Foreshadow
+// experiment to demonstrate that leaking enclave memory leaks this key.
+func (q *QuotingKey) PrivateBytes() []byte { return q.priv.D.Bytes() }
+
+// Sign produces a quote over the report contents.
+func (q *QuotingKey) Sign(r *Report) (*Quote, error) {
+	digest := sha256.Sum256(reportDigestInput(r.Measurement, r.Nonce, r.AppData))
+	sig, err := ecdsa.SignASN1(rand.Reader, q.priv, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("attest: sign quote: %w", err)
+	}
+	return &Quote{Report: *r, Signature: sig}, nil
+}
+
+// SignQuoteWithKey signs a report with an externally supplied ECDSA key.
+// The quote digest layout is public (it is part of the attestation
+// protocol), so anyone holding the platform scalar can produce valid
+// quotes — which is exactly what the Foreshadow experiment demonstrates
+// with a stolen key.
+func SignQuoteWithKey(k *ecdsa.PrivateKey, r *Report) (*Quote, error) {
+	digest := sha256.Sum256(reportDigestInput(r.Measurement, r.Nonce, r.AppData))
+	sig, err := ecdsa.SignASN1(rand.Reader, k, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("attest: sign quote: %w", err)
+	}
+	return &Quote{Report: *r, Signature: sig}, nil
+}
+
+// VerifyQuote checks a quote against the platform public key.
+func VerifyQuote(pub *ecdsa.PublicKey, q *Quote) bool {
+	digest := sha256.Sum256(reportDigestInput(q.Report.Measurement, q.Report.Nonce, q.Report.AppData))
+	return ecdsa.VerifyASN1(pub, digest[:], q.Signature)
+}
+
+// Verifier is a remote challenger: it issues nonces, tracks freshness, and
+// checks reports against expected measurements.
+type Verifier struct {
+	expected map[string]Measurement
+	used     map[string]bool
+}
+
+// NewVerifier creates a verifier with an allow-list of good measurements.
+func NewVerifier() *Verifier {
+	return &Verifier{expected: map[string]Measurement{}, used: map[string]bool{}}
+}
+
+// AllowMeasurement registers a known-good measurement under a name.
+func (v *Verifier) AllowMeasurement(name string, m Measurement) {
+	v.expected[name] = m
+}
+
+// Challenge issues a fresh random nonce.
+func (v *Verifier) Challenge() ([]byte, error) {
+	n := make([]byte, 16)
+	if _, err := rand.Read(n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// CheckReport validates MAC, measurement allow-list membership and nonce
+// freshness (each nonce accepted once).
+func (v *Verifier) CheckReport(key []byte, r *Report) error {
+	if !VerifyReport(key, r) {
+		return errors.New("attest: report MAC invalid")
+	}
+	return v.checkCommon(&r.Measurement, r.Nonce)
+}
+
+// CheckQuote validates signature, measurement and freshness.
+func (v *Verifier) CheckQuote(pub *ecdsa.PublicKey, q *Quote) error {
+	if !VerifyQuote(pub, q) {
+		return errors.New("attest: quote signature invalid")
+	}
+	return v.checkCommon(&q.Report.Measurement, q.Report.Nonce)
+}
+
+func (v *Verifier) checkCommon(m *Measurement, nonce []byte) error {
+	found := false
+	for _, e := range v.expected {
+		if e == *m {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("attest: measurement %s not in allow-list", m)
+	}
+	ns := string(nonce)
+	if v.used[ns] {
+		return errors.New("attest: nonce replayed")
+	}
+	v.used[ns] = true
+	return nil
+}
+
+// SealKey derives the sealing key for an identity from the platform
+// secret: HMAC(platformSecret, "seal" ‖ measurement). Different code ⇒
+// different key, binding sealed data to the enclave identity.
+func SealKey(platformSecret []byte, m Measurement) []byte {
+	mac := hmac.New(sha256.New, platformSecret)
+	mac.Write([]byte("intrust-seal"))
+	mac.Write(m[:])
+	return mac.Sum(nil)[:16]
+}
+
+// Seal encrypts data under the identity-bound key with AES-GCM.
+func Seal(platformSecret []byte, m Measurement, data []byte) ([]byte, error) {
+	blk, err := aes.NewCipher(SealKey(platformSecret, m))
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(blk)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	return gcm.Seal(nonce, nonce, data, m[:]), nil
+}
+
+// Unseal decrypts sealed data; it fails if the measurement (and hence the
+// derived key or the bound AAD) differs from the sealer's.
+func Unseal(platformSecret []byte, m Measurement, blob []byte) ([]byte, error) {
+	blk, err := aes.NewCipher(SealKey(platformSecret, m))
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(blk)
+	if err != nil {
+		return nil, err
+	}
+	if len(blob) < gcm.NonceSize() {
+		return nil, errors.New("attest: sealed blob truncated")
+	}
+	pt, err := gcm.Open(nil, blob[:gcm.NonceSize()], blob[gcm.NonceSize():], m[:])
+	if err != nil {
+		return nil, fmt.Errorf("attest: unseal: %w", err)
+	}
+	return pt, nil
+}

@@ -1,0 +1,391 @@
+// Package cache models the CPU cache hierarchy of the simulated platforms:
+// parameterized set-associative caches, a multi-level hierarchy with a
+// shared last-level cache, and a TLB. It implements the defense mechanisms
+// the surveyed architectures rely on — way partitioning (DAWG-style, used
+// to model Sanctum's isolation goal), index randomization (RPcache/CEASER
+// style), cacheability exclusion (Sanctuary) and flush-on-switch — so the
+// cache side-channel experiments of Section 4.1 can measure each defense
+// against the same attacks.
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Policy selects the replacement policy of a cache.
+type Policy uint8
+
+const (
+	// PolicyLRU evicts the least recently used way.
+	PolicyLRU Policy = iota
+	// PolicyRandom evicts a uniformly random way.
+	PolicyRandom
+	// PolicyTreePLRU approximates LRU with a binary decision tree.
+	PolicyTreePLRU
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyLRU:
+		return "lru"
+	case PolicyRandom:
+		return "random"
+	case PolicyTreePLRU:
+		return "tree-plru"
+	}
+	return "policy?"
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	Sets       int // power of two
+	Ways       int
+	LineSize   int // bytes, power of two
+	HitLatency int // cycles
+	Policy     Policy
+}
+
+// SizeBytes returns the capacity of the configured cache.
+func (c Config) SizeBytes() int { return c.Sets * c.Ways * c.LineSize }
+
+// Stats counts cache events.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Flushes   uint64
+}
+
+// MissRate returns misses / (hits+misses), or 0 with no accesses.
+func (s Stats) MissRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(t)
+}
+
+type line struct {
+	valid   bool
+	tag     uint32 // full line address (addr / LineSize)
+	domain  int    // security domain that filled the line
+	lastUse uint64
+	dirty   bool
+}
+
+// Cache is one set-associative cache level.
+//
+// Lines are tagged with the full line address, so set-index geometry can be
+// changed per domain (randomized mapping) without aliasing errors. Each
+// line remembers the security domain that filled it; domain-selective
+// flushes model enclave context-switch hygiene.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	plru  [][]bool // tree-PLRU state per set
+	tick  uint64
+	rng   *rand.Rand
+	Stats Stats
+
+	// partitions maps a domain to a bitmask of ways it may use (DAWG-style
+	// way partitioning: both lookups and fills are confined to the mask).
+	partitions map[int]uint64
+	// randKeys maps a domain to an index-scrambling key (randomized
+	// address-to-set mapping; different domains get unrelated mappings).
+	randKeys map[int]uint32
+
+	// OnEvict, when non-nil, observes every eviction of a valid line with
+	// the line's base address. Platforms use it to implement an INCLUSIVE
+	// shared LLC: evicting an LLC line back-invalidates the private
+	// caches — the property that lets a cross-core Prime+Probe attacker
+	// displace a victim's L1 lines.
+	OnEvict func(lineBase uint32)
+}
+
+// New creates a cache. It panics on non-power-of-two geometry, which is a
+// configuration bug.
+func New(cfg Config) *Cache {
+	for _, v := range []int{cfg.Sets, cfg.LineSize} {
+		if v <= 0 || v&(v-1) != 0 {
+			panic(fmt.Sprintf("cache %q: %d is not a power of two", cfg.Name, v))
+		}
+	}
+	if cfg.Ways <= 0 || cfg.Ways > 64 {
+		panic(fmt.Sprintf("cache %q: bad way count %d", cfg.Name, cfg.Ways))
+	}
+	c := &Cache{
+		cfg:        cfg,
+		sets:       make([][]line, cfg.Sets),
+		plru:       make([][]bool, cfg.Sets),
+		rng:        rand.New(rand.NewSource(int64(cfg.Sets)*31 + int64(cfg.Ways))),
+		partitions: map[int]uint64{},
+		randKeys:   map[int]uint32{},
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+		c.plru[i] = make([]bool, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// SetPartition restricts domain to the ways in mask (0 clears the
+// partition). With a partition installed, the domain cannot hit on or
+// evict lines outside its ways, and vice versa for other domains only if
+// they are partitioned too.
+func (c *Cache) SetPartition(domain int, mask uint64) {
+	if mask == 0 {
+		delete(c.partitions, domain)
+		return
+	}
+	c.partitions[domain] = mask
+}
+
+// SetRandomizedIndex gives domain a private scrambled address-to-set
+// mapping derived from key (0 clears it).
+func (c *Cache) SetRandomizedIndex(domain int, key uint32) {
+	if key == 0 {
+		delete(c.randKeys, domain)
+		return
+	}
+	c.randKeys[domain] = key
+}
+
+// lineAddr returns the line-granular address (the tag).
+func (c *Cache) lineAddr(addr uint32) uint32 { return addr / uint32(c.cfg.LineSize) }
+
+// SetIndexOf returns the set index addr maps to for the given domain.
+// Attackers use this to build eviction sets; with randomized mapping the
+// result differs per domain, which is exactly the defense.
+func (c *Cache) SetIndexOf(addr uint32, domain int) int {
+	la := c.lineAddr(addr)
+	if key, ok := c.randKeys[domain]; ok {
+		return int(scramble(la, key) % uint32(c.cfg.Sets))
+	}
+	return int(la % uint32(c.cfg.Sets))
+}
+
+// scramble is a cheap invertible mixing function (xorshift-multiply).
+func scramble(v, key uint32) uint32 {
+	v ^= key
+	v *= 0x9e3779b1
+	v ^= v >> 16
+	v *= 0x85ebca6b
+	v ^= v >> 13
+	return v
+}
+
+func (c *Cache) wayMask(domain int) uint64 {
+	if m, ok := c.partitions[domain]; ok {
+		return m
+	}
+	return ^uint64(0)
+}
+
+// Lookup reports whether addr is cached, from domain's view, without
+// changing any state (no fill, no LRU update).
+func (c *Cache) Lookup(addr uint32, domain int) bool {
+	set := c.sets[c.SetIndexOf(addr, domain)]
+	tag := c.lineAddr(addr)
+	mask := c.wayMask(domain)
+	for w := range set {
+		if mask&(1<<uint(w)) == 0 {
+			continue
+		}
+		if set[w].valid && set[w].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a load or store to addr on behalf of domain. It returns
+// whether the access hit; on a miss the line is filled (evicting per
+// policy within the domain's way mask).
+func (c *Cache) Access(addr uint32, write bool, domain int) bool {
+	c.tick++
+	idx := c.SetIndexOf(addr, domain)
+	set := c.sets[idx]
+	tag := c.lineAddr(addr)
+	mask := c.wayMask(domain)
+	for w := range set {
+		if mask&(1<<uint(w)) == 0 {
+			continue
+		}
+		if set[w].valid && set[w].tag == tag {
+			set[w].lastUse = c.tick
+			if write {
+				set[w].dirty = true
+			}
+			c.touchPLRU(idx, w)
+			c.Stats.Hits++
+			return true
+		}
+	}
+	c.Stats.Misses++
+	c.fill(idx, tag, write, domain, mask)
+	return false
+}
+
+func (c *Cache) fill(idx int, tag uint32, write bool, domain int, mask uint64) {
+	set := c.sets[idx]
+	victim := -1
+	// Prefer an invalid way inside the mask.
+	for w := range set {
+		if mask&(1<<uint(w)) == 0 {
+			continue
+		}
+		if !set[w].valid {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		victim = c.chooseVictim(idx, mask)
+		c.Stats.Evictions++
+		if c.OnEvict != nil && set[victim].valid {
+			c.OnEvict(set[victim].tag * uint32(c.cfg.LineSize))
+		}
+	}
+	set[victim] = line{valid: true, tag: tag, domain: domain, lastUse: c.tick, dirty: write}
+	c.touchPLRU(idx, victim)
+}
+
+func (c *Cache) chooseVictim(idx int, mask uint64) int {
+	set := c.sets[idx]
+	switch c.cfg.Policy {
+	case PolicyRandom:
+		for {
+			w := c.rng.Intn(c.cfg.Ways)
+			if mask&(1<<uint(w)) != 0 {
+				return w
+			}
+		}
+	case PolicyTreePLRU:
+		// Walk the not-recently-used bits; fall back to masked scan.
+		for w := range set {
+			if mask&(1<<uint(w)) != 0 && !c.plru[idx][w] {
+				return w
+			}
+		}
+		// All marked recently used: reset and take the first allowed way.
+		for w := range c.plru[idx] {
+			c.plru[idx][w] = false
+		}
+		for w := range set {
+			if mask&(1<<uint(w)) != 0 {
+				return w
+			}
+		}
+	}
+	// LRU (default).
+	victim, oldest := -1, ^uint64(0)
+	for w := range set {
+		if mask&(1<<uint(w)) == 0 {
+			continue
+		}
+		if set[w].lastUse < oldest {
+			oldest = set[w].lastUse
+			victim = w
+		}
+	}
+	if victim < 0 {
+		panic(fmt.Sprintf("cache %q: empty way mask %#x", c.cfg.Name, mask))
+	}
+	return victim
+}
+
+func (c *Cache) touchPLRU(idx, way int) {
+	c.plru[idx][way] = true
+	all := true
+	for _, b := range c.plru[idx] {
+		if !b {
+			all = false
+			break
+		}
+	}
+	if all {
+		for w := range c.plru[idx] {
+			c.plru[idx][w] = false
+		}
+		c.plru[idx][way] = true
+	}
+}
+
+// FlushLine removes addr's line from every way of every possible index
+// (covering all domain mappings). It returns whether a line was present —
+// the signal Flush+Reload keys on.
+func (c *Cache) FlushLine(addr uint32) bool {
+	tag := c.lineAddr(addr)
+	found := false
+	// The line may live under the identity index or any randomized index;
+	// scan candidate sets for correctness.
+	seen := map[int]bool{int(tag % uint32(c.cfg.Sets)): true}
+	for _, key := range c.randKeys {
+		seen[int(scramble(tag, key)%uint32(c.cfg.Sets))] = true
+	}
+	for idx := range seen {
+		set := c.sets[idx]
+		for w := range set {
+			if set[w].valid && set[w].tag == tag {
+				set[w] = line{}
+				found = true
+				c.Stats.Flushes++
+			}
+		}
+	}
+	return found
+}
+
+// FlushAll invalidates the entire cache.
+func (c *Cache) FlushAll() {
+	for i := range c.sets {
+		for w := range c.sets[i] {
+			c.sets[i][w] = line{}
+		}
+	}
+	c.Stats.Flushes++
+}
+
+// FlushDomain invalidates every line filled by the given domain (enclave
+// exit hygiene in Sanctum and Sanctuary).
+func (c *Cache) FlushDomain(domain int) {
+	for i := range c.sets {
+		for w := range c.sets[i] {
+			if c.sets[i][w].valid && c.sets[i][w].domain == domain {
+				c.sets[i][w] = line{}
+			}
+		}
+	}
+	c.Stats.Flushes++
+}
+
+// OccupancyOf counts valid lines owned by domain, a probe used in tests
+// and in the partition-isolation experiments.
+func (c *Cache) OccupancyOf(domain int) int {
+	n := 0
+	for i := range c.sets {
+		for w := range c.sets[i] {
+			if c.sets[i][w].valid && c.sets[i][w].domain == domain {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// WaysIn returns how many ways of set idx are currently valid — the
+// Prime+Probe primitive for counting victim-induced evictions.
+func (c *Cache) WaysIn(idx int) int {
+	n := 0
+	for _, l := range c.sets[idx] {
+		if l.valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,453 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smallCache() *Cache {
+	return New(Config{Name: "l1", Sets: 16, Ways: 4, LineSize: 64, HitLatency: 2, Policy: PolicyLRU})
+}
+
+func TestAccessHitAfterFill(t *testing.T) {
+	c := smallCache()
+	addr := uint32(0x1000)
+	if c.Access(addr, false, 0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(addr, false, 0) {
+		t.Fatal("second access missed")
+	}
+	// Same line, different offset: still a hit.
+	if !c.Access(addr+63, false, 0) {
+		t.Fatal("same-line access missed")
+	}
+	// Next line: miss.
+	if c.Access(addr+64, false, 0) {
+		t.Fatal("next-line access hit")
+	}
+}
+
+func TestLookupDoesNotFill(t *testing.T) {
+	c := smallCache()
+	if c.Lookup(0x40, 0) {
+		t.Fatal("lookup hit on empty cache")
+	}
+	if c.Access(0x40, false, 0) {
+		t.Fatal("fill reported hit")
+	}
+	if !c.Lookup(0x40, 0) {
+		t.Fatal("lookup missed after fill")
+	}
+}
+
+func TestHitAfterFillQuick(t *testing.T) {
+	c := New(Config{Name: "q", Sets: 64, Ways: 8, LineSize: 32, HitLatency: 1})
+	f := func(a uint32) bool {
+		c.Access(a, false, 0)
+		return c.Lookup(a, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := smallCache() // 16 sets, 4 ways, 64B lines
+	// Fill set 0 with 4 lines; touching line0 makes line1 the LRU victim.
+	stride := uint32(16 * 64)
+	lines := []uint32{0, stride, 2 * stride, 3 * stride}
+	for _, a := range lines {
+		c.Access(a, false, 0)
+	}
+	c.Access(lines[0], false, 0) // refresh line0
+	c.Access(4*stride, false, 0) // evict LRU = lines[1]
+	if !c.Lookup(lines[0], 0) {
+		t.Error("recently used line evicted")
+	}
+	if c.Lookup(lines[1], 0) {
+		t.Error("LRU line survived eviction")
+	}
+	for _, a := range lines[2:] {
+		if !c.Lookup(a, 0) {
+			t.Errorf("line %#x evicted unexpectedly", a)
+		}
+	}
+}
+
+func TestEvictionNeedsWaysPlusOne(t *testing.T) {
+	// Property: accessing exactly Ways distinct lines of one set evicts
+	// nothing; the (Ways+1)-th evicts exactly one.
+	c := New(Config{Name: "p", Sets: 8, Ways: 6, LineSize: 64, HitLatency: 1})
+	stride := uint32(8 * 64)
+	for i := 0; i < 6; i++ {
+		c.Access(uint32(i)*stride, false, 0)
+	}
+	for i := 0; i < 6; i++ {
+		if !c.Lookup(uint32(i)*stride, 0) {
+			t.Fatalf("line %d evicted before set was full", i)
+		}
+	}
+	if c.Stats.Evictions != 0 {
+		t.Fatalf("evictions = %d before overflow", c.Stats.Evictions)
+	}
+	c.Access(6*stride, false, 0)
+	if c.Stats.Evictions != 1 {
+		t.Fatalf("evictions = %d after overflow", c.Stats.Evictions)
+	}
+}
+
+func TestWayPartitionIsolation(t *testing.T) {
+	c := smallCache()
+	c.SetPartition(1, 0b0011) // victim domain: ways 0-1
+	c.SetPartition(2, 0b1100) // attacker domain: ways 2-3
+
+	stride := uint32(16 * 64)
+	// Victim fills its two ways of set 0.
+	c.Access(0*stride, false, 1)
+	c.Access(1*stride, false, 1)
+	// Attacker hammers the same set far beyond capacity.
+	for i := 2; i < 20; i++ {
+		c.Access(uint32(i)*stride, false, 2)
+	}
+	// Victim's lines must survive: the attacker cannot evict across the
+	// partition (this is the Sanctum/DAWG guarantee).
+	if !c.Lookup(0, 1) || !c.Lookup(stride, 1) {
+		t.Fatal("partitioned victim lines were evicted by attacker domain")
+	}
+	// And the attacker cannot observe hits on victim lines.
+	if c.Lookup(0, 2) {
+		t.Fatal("attacker observed victim line across partition")
+	}
+}
+
+func TestRandomizedIndexDiffersPerDomain(t *testing.T) {
+	c := New(Config{Name: "r", Sets: 256, Ways: 8, LineSize: 64, HitLatency: 1})
+	c.SetRandomizedIndex(2, 0xdecafbad)
+	differs := 0
+	for i := 0; i < 64; i++ {
+		addr := uint32(i) * 64 * 256
+		if c.SetIndexOf(addr, 1) != c.SetIndexOf(addr, 2) {
+			differs++
+		}
+	}
+	if differs < 48 {
+		t.Fatalf("randomized mapping too similar to identity: %d/64 differ", differs)
+	}
+	// Hits still work within the randomized domain.
+	c.Access(0x12340, false, 2)
+	if !c.Lookup(0x12340, 2) {
+		t.Fatal("randomized domain cannot hit its own line")
+	}
+	// And FlushLine still finds lines under randomized mappings.
+	if !c.FlushLine(0x12340) {
+		t.Fatal("FlushLine missed randomized-index line")
+	}
+	if c.Lookup(0x12340, 2) {
+		t.Fatal("line survived flush")
+	}
+}
+
+func TestFlushSemantics(t *testing.T) {
+	c := smallCache()
+	c.Access(0x100, false, 0)
+	if !c.FlushLine(0x100) {
+		t.Error("flush of present line returned false")
+	}
+	if c.FlushLine(0x100) {
+		t.Error("flush of absent line returned true")
+	}
+	c.Access(0x200, false, 3)
+	c.Access(0x300, false, 4)
+	c.FlushDomain(3)
+	if c.Lookup(0x200, 3) {
+		t.Error("domain flush left line")
+	}
+	if !c.Lookup(0x300, 4) {
+		t.Error("domain flush removed other domain's line")
+	}
+	c.FlushAll()
+	if c.Lookup(0x300, 4) {
+		t.Error("FlushAll left line")
+	}
+}
+
+func TestOccupancyAndWaysIn(t *testing.T) {
+	c := smallCache()
+	stride := uint32(16 * 64)
+	c.Access(0, false, 7)
+	c.Access(stride, false, 7)
+	c.Access(2*stride, false, 8)
+	if got := c.OccupancyOf(7); got != 2 {
+		t.Errorf("occupancy(7) = %d", got)
+	}
+	if got := c.WaysIn(0); got != 3 {
+		t.Errorf("WaysIn(0) = %d", got)
+	}
+}
+
+func TestReplacementPolicies(t *testing.T) {
+	for _, pol := range []Policy{PolicyLRU, PolicyRandom, PolicyTreePLRU} {
+		c := New(Config{Name: pol.String(), Sets: 4, Ways: 2, LineSize: 64, HitLatency: 1, Policy: pol})
+		stride := uint32(4 * 64)
+		for i := 0; i < 10; i++ {
+			c.Access(uint32(i)*stride, false, 0)
+		}
+		// The most recent line must be present under every policy.
+		if !c.Lookup(9*stride, 0) {
+			t.Errorf("policy %v: just-filled line missing", pol)
+		}
+		if c.Stats.Evictions == 0 {
+			t.Errorf("policy %v: no evictions recorded", pol)
+		}
+	}
+}
+
+func TestStatsAndMissRate(t *testing.T) {
+	c := smallCache()
+	c.Access(0, false, 0)
+	c.Access(0, false, 0)
+	c.Access(0, false, 0)
+	c.Access(64, false, 0)
+	s := c.Stats
+	if s.Hits != 2 || s.Misses != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if got := s.MissRate(); got != 0.5 {
+		t.Fatalf("miss rate = %v", got)
+	}
+	if (Stats{}).MissRate() != 0 {
+		t.Fatal("empty miss rate not 0")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{Sets: 3, Ways: 2, LineSize: 64},
+		{Sets: 4, Ways: 0, LineSize: 64},
+		{Sets: 4, Ways: 2, LineSize: 48},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v accepted", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestDirtyWriteTracking(t *testing.T) {
+	c := smallCache()
+	c.Access(0x500, true, 0)
+	if !c.Access(0x500, false, 0) {
+		t.Fatal("write-filled line not hit by read")
+	}
+}
+
+func newTestHierarchy() *Hierarchy {
+	return &Hierarchy{
+		L1I:        New(Config{Name: "l1i", Sets: 32, Ways: 4, LineSize: 64, HitLatency: 1}),
+		L1D:        New(Config{Name: "l1d", Sets: 32, Ways: 4, LineSize: 64, HitLatency: 2}),
+		LLC:        New(Config{Name: "llc", Sets: 512, Ways: 8, LineSize: 64, HitLatency: 20}),
+		MemLatency: 100,
+	}
+}
+
+func TestHierarchyLatencyContrast(t *testing.T) {
+	h := newTestHierarchy()
+	miss := h.Data(0x4000, false, 0)
+	if !miss.FromMemory() {
+		t.Fatal("cold access did not reach memory")
+	}
+	hit := h.Data(0x4000, false, 0)
+	if hit.HitLevel != LevelL1 {
+		t.Fatalf("warm access hit level = %v", hit.HitLevel)
+	}
+	if hit.Latency >= miss.Latency {
+		t.Fatalf("hit latency %d >= miss latency %d — no side channel possible",
+			hit.Latency, miss.Latency)
+	}
+	if miss.Latency != 2+20+100 {
+		t.Fatalf("miss latency = %d, want 122", miss.Latency)
+	}
+}
+
+func TestHierarchyLLCHitAfterL1Evict(t *testing.T) {
+	h := newTestHierarchy()
+	h.Data(0x8000, false, 0)
+	// Evict from tiny L1 by filling its set (32 sets * 64B = 2KB stride).
+	for i := 1; i <= 4; i++ {
+		h.L1D.Access(0x8000+uint32(i*32*64), false, 0)
+	}
+	r := h.Data(0x8000, false, 0)
+	if r.HitLevel != LevelLLC {
+		t.Fatalf("expected LLC hit, got %v (latency %d)", r.HitLevel, r.Latency)
+	}
+}
+
+func TestHierarchyCacheabilityExclusion(t *testing.T) {
+	h := newTestHierarchy()
+	// Sanctuary-style: addresses in [0x10000,0x20000) may use only L1.
+	h.Cacheability = func(addr uint32) Level {
+		if addr >= 0x10000 && addr < 0x20000 {
+			return LevelL1
+		}
+		return LevelAll
+	}
+	h.Data(0x10000, false, 1)
+	if h.LLC.Lookup(0x10000, 1) {
+		t.Fatal("excluded address cached in LLC")
+	}
+	if !h.L1D.Lookup(0x10000, 1) {
+		t.Fatal("excluded address missing from L1")
+	}
+	// Normal addresses still reach the LLC.
+	h.Data(0x40000, false, 1)
+	if !h.LLC.Lookup(0x40000, 1) {
+		t.Fatal("normal address missing from LLC")
+	}
+}
+
+func TestHierarchyUncacheable(t *testing.T) {
+	h := newTestHierarchy()
+	h.Cacheability = func(addr uint32) Level { return LevelNone }
+	r1 := h.Data(0x5000, false, 0)
+	r2 := h.Data(0x5000, false, 0)
+	if !r1.FromMemory() || !r2.FromMemory() {
+		t.Fatal("uncacheable access was cached")
+	}
+	if r1.Latency != r2.Latency {
+		t.Fatal("uncacheable latencies differ — timing channel would remain")
+	}
+}
+
+func TestHierarchyFlushAndProbe(t *testing.T) {
+	h := newTestHierarchy()
+	h.Data(0x9000, false, 0)
+	if h.Probe(0x9000, 0) != LevelL1 {
+		t.Fatal("probe did not find line in L1")
+	}
+	if !h.InL1(0x9000, 0) {
+		t.Fatal("InL1 false after fill")
+	}
+	if !h.FlushAddr(0x9000) {
+		t.Fatal("FlushAddr found nothing")
+	}
+	if h.Probe(0x9000, 0) != 0 {
+		t.Fatal("line survived FlushAddr")
+	}
+	h.Data(0xa000, false, 0)
+	h.FlushL1()
+	if h.InL1(0xa000, 0) {
+		t.Fatal("line survived FlushL1")
+	}
+	if h.Probe(0xa000, 0) != LevelLLC {
+		t.Fatal("LLC copy lost by FlushL1")
+	}
+	h.FlushAll()
+	if h.Probe(0xa000, 0) != 0 {
+		t.Fatal("line survived FlushAll")
+	}
+}
+
+func TestHierarchyFetchPath(t *testing.T) {
+	h := newTestHierarchy()
+	h.Fetch(0x1000, 0)
+	if !h.L1I.Lookup(0x1000, 0) {
+		t.Fatal("fetch did not fill L1I")
+	}
+	if h.L1D.Lookup(0x1000, 0) {
+		t.Fatal("fetch filled L1D")
+	}
+}
+
+func TestHierarchyExtraMemLatency(t *testing.T) {
+	h := newTestHierarchy()
+	h.ExtraMemLatency = func(addr uint32) int {
+		if addr >= 0x100000 {
+			return 12
+		}
+		return 0
+	}
+	plain := h.Data(0x2000, false, 0)
+	mee := h.Data(0x100000, false, 0)
+	if mee.Latency-plain.Latency != 12 {
+		t.Fatalf("extra latency = %d", mee.Latency-plain.Latency)
+	}
+	if h.MissLatency() != 2+20+100 || h.HitLatency() != 2 {
+		t.Fatalf("latency summary wrong: miss %d hit %d", h.MissLatency(), h.HitLatency())
+	}
+}
+
+func TestTLBBasics(t *testing.T) {
+	tlb := NewTLB(16, 4)
+	if _, hit := tlb.Lookup(5, 1); hit {
+		t.Fatal("empty TLB hit")
+	}
+	tlb.Insert(5, 1, 0xabcd)
+	pte, hit := tlb.Lookup(5, 1)
+	if !hit || pte != 0xabcd {
+		t.Fatalf("lookup = %#x, %v", pte, hit)
+	}
+	// Different ASID misses.
+	if _, hit := tlb.Lookup(5, 2); hit {
+		t.Fatal("cross-ASID TLB hit")
+	}
+	tlb.FlushPage(5, 1)
+	if _, hit := tlb.Lookup(5, 1); hit {
+		t.Fatal("entry survived FlushPage")
+	}
+}
+
+func TestTLBEvictionAndSetConflicts(t *testing.T) {
+	tlb := NewTLB(16, 2)
+	// Three VPNs mapping to set 3 overflow its 2 ways.
+	vpns := []uint32{3, 19, 35}
+	for _, v := range vpns {
+		tlb.Insert(v, 1, v)
+	}
+	if got := tlb.ValidIn(3); got != 2 {
+		t.Fatalf("set occupancy = %d", got)
+	}
+	if _, hit := tlb.Lookup(vpns[0], 1); hit {
+		t.Fatal("LRU TLB entry survived conflict — TLB attack geometry broken")
+	}
+	tlb.FlushASID(1)
+	if tlb.ValidIn(3) != 0 {
+		t.Fatal("FlushASID left entries")
+	}
+	tlb.Insert(1, 1, 1)
+	tlb.FlushAll()
+	if _, hit := tlb.Lookup(1, 1); hit {
+		t.Fatal("entry survived FlushAll")
+	}
+}
+
+func TestTLBGeometryValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad TLB geometry accepted")
+		}
+	}()
+	NewTLB(3, 2)
+}
+
+func TestScrambleIsDeterministicAndSpreads(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	buckets := make([]int, 64)
+	for i := 0; i < 4096; i++ {
+		v := rng.Uint32()
+		if scramble(v, 0x1234) != scramble(v, 0x1234) {
+			t.Fatal("scramble not deterministic")
+		}
+		buckets[scramble(v, 0x1234)%64]++
+	}
+	for b, n := range buckets {
+		if n == 0 {
+			t.Fatalf("scramble never hit bucket %d", b)
+		}
+	}
+}

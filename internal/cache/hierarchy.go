@@ -1,0 +1,163 @@
+package cache
+
+// Level identifies cache levels in cacheability masks.
+type Level uint8
+
+const (
+	// LevelL1 is the private first-level cache.
+	LevelL1 Level = 1 << iota
+	// LevelL2 is the private second-level cache.
+	LevelL2
+	// LevelLLC is the shared last-level cache.
+	LevelLLC
+	// LevelAll allows caching at every level.
+	LevelAll = LevelL1 | LevelL2 | LevelLLC
+	// LevelNone marks an address uncacheable (Sanctuary's exclusion of
+	// enclave memory from the shared caches uses LevelL1 only).
+	LevelNone Level = 0
+)
+
+// AccessResult describes where a hierarchy access was satisfied.
+type AccessResult struct {
+	Latency  int
+	HitLevel Level // 0 means the access went to memory
+}
+
+// FromMemory reports whether the access missed every cache level.
+func (r AccessResult) FromMemory() bool { return r.HitLevel == 0 }
+
+// Hierarchy composes per-core L1 caches with optional L2 and a shared LLC.
+// A single Hierarchy instance models one core's view; multiple cores share
+// the same LLC pointer (and optionally L2).
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache // optional
+	LLC *Cache // optional, shared
+	// MemLatency is the DRAM access cost in cycles.
+	MemLatency int
+	// Cacheability returns the levels allowed to cache addr. Nil means
+	// everything is cacheable everywhere.
+	Cacheability func(addr uint32) Level
+	// ExtraMemLatency adds per-address memory latency (the MEE hook).
+	ExtraMemLatency func(addr uint32) int
+}
+
+func (h *Hierarchy) levelsFor(addr uint32) Level {
+	if h.Cacheability == nil {
+		return LevelAll
+	}
+	return h.Cacheability(addr)
+}
+
+// access walks the hierarchy starting from the given L1.
+func (h *Hierarchy) access(l1 *Cache, addr uint32, write bool, domain int) AccessResult {
+	allowed := h.levelsFor(addr)
+	lat := 0
+	if l1 != nil && allowed&LevelL1 != 0 {
+		lat += l1.cfg.HitLatency
+		if l1.Access(addr, write, domain) {
+			return AccessResult{Latency: lat, HitLevel: LevelL1}
+		}
+	}
+	if h.L2 != nil && allowed&LevelL2 != 0 {
+		lat += h.L2.cfg.HitLatency
+		if h.L2.Access(addr, write, domain) {
+			return AccessResult{Latency: lat, HitLevel: LevelL2}
+		}
+	}
+	if h.LLC != nil && allowed&LevelLLC != 0 {
+		lat += h.LLC.cfg.HitLatency
+		if h.LLC.Access(addr, write, domain) {
+			return AccessResult{Latency: lat, HitLevel: LevelLLC}
+		}
+	}
+	lat += h.MemLatency
+	if h.ExtraMemLatency != nil {
+		lat += h.ExtraMemLatency(addr)
+	}
+	return AccessResult{Latency: lat}
+}
+
+// Data performs a data load/store through L1D.
+func (h *Hierarchy) Data(addr uint32, write bool, domain int) AccessResult {
+	return h.access(h.L1D, addr, write, domain)
+}
+
+// Fetch performs an instruction fetch through L1I.
+func (h *Hierarchy) Fetch(addr uint32, domain int) AccessResult {
+	return h.access(h.L1I, addr, false, domain)
+}
+
+// Probe reports whether addr is present at any level for domain without
+// disturbing state.
+func (h *Hierarchy) Probe(addr uint32, domain int) Level {
+	if h.L1D != nil && h.L1D.Lookup(addr, domain) {
+		return LevelL1
+	}
+	if h.L2 != nil && h.L2.Lookup(addr, domain) {
+		return LevelL2
+	}
+	if h.LLC != nil && h.LLC.Lookup(addr, domain) {
+		return LevelLLC
+	}
+	return 0
+}
+
+// InL1 reports whether addr is in L1D for domain — the check Foreshadow's
+// L1 terminal fault forwarding depends on.
+func (h *Hierarchy) InL1(addr uint32, domain int) bool {
+	return h.L1D != nil && h.L1D.Lookup(addr, domain)
+}
+
+// FlushAddr removes addr from every level (the CLFLUSH instruction).
+// It returns whether any level held the line.
+func (h *Hierarchy) FlushAddr(addr uint32) bool {
+	found := false
+	for _, c := range []*Cache{h.L1I, h.L1D, h.L2, h.LLC} {
+		if c != nil && c.FlushLine(addr) {
+			found = true
+		}
+	}
+	return found
+}
+
+// FlushL1 invalidates both L1 caches (the Foreshadow mitigation and the
+// Sanctuary/Sanctum context-switch policy).
+func (h *Hierarchy) FlushL1() {
+	if h.L1I != nil {
+		h.L1I.FlushAll()
+	}
+	if h.L1D != nil {
+		h.L1D.FlushAll()
+	}
+}
+
+// FlushAll invalidates every level.
+func (h *Hierarchy) FlushAll() {
+	for _, c := range []*Cache{h.L1I, h.L1D, h.L2, h.LLC} {
+		if c != nil {
+			c.FlushAll()
+		}
+	}
+}
+
+// HitLatency returns the L1 hit cost, the unit attackers compare timings
+// against.
+func (h *Hierarchy) HitLatency() int {
+	if h.L1D != nil {
+		return h.L1D.cfg.HitLatency
+	}
+	return 0
+}
+
+// MissLatency returns the worst-case cost of a full miss.
+func (h *Hierarchy) MissLatency() int {
+	lat := h.MemLatency
+	for _, c := range []*Cache{h.L1D, h.L2, h.LLC} {
+		if c != nil {
+			lat += c.cfg.HitLatency
+		}
+	}
+	return lat
+}

@@ -1,0 +1,46 @@
+package cache
+
+import "testing"
+
+func TestOnEvictCallbackFires(t *testing.T) {
+	c := New(Config{Name: "llc", Sets: 4, Ways: 2, LineSize: 64, HitLatency: 10})
+	var evicted []uint32
+	c.OnEvict = func(lineBase uint32) { evicted = append(evicted, lineBase) }
+	stride := uint32(4 * 64)
+	// Fill set 0 beyond capacity: the third line evicts the first.
+	c.Access(0*stride, false, 0)
+	c.Access(1*stride, false, 0)
+	if len(evicted) != 0 {
+		t.Fatalf("eviction callback fired before set full: %v", evicted)
+	}
+	c.Access(2*stride, false, 0)
+	if len(evicted) != 1 || evicted[0] != 0 {
+		t.Fatalf("evictions = %#v, want [0x0]", evicted)
+	}
+}
+
+func TestInclusiveLLCBackInvalidation(t *testing.T) {
+	// The platform wiring: evicting an LLC line removes it from L1 too,
+	// which is what lets a cross-core Prime+Probe displace victim lines.
+	l1 := New(Config{Name: "l1", Sets: 16, Ways: 4, LineSize: 64, HitLatency: 2})
+	llc := New(Config{Name: "llc", Sets: 16, Ways: 2, LineSize: 64, HitLatency: 20})
+	llc.OnEvict = func(lineBase uint32) { l1.FlushLine(lineBase) }
+	h := &Hierarchy{L1D: l1, LLC: llc, MemLatency: 100}
+
+	h.Data(0x1000, false, 1) // victim line in L1 and LLC
+	if !l1.Lookup(0x1000, 1) {
+		t.Fatal("victim line not in L1")
+	}
+	// Attacker floods the LLC set of 0x1000 (16 sets * 64B = 1 KiB
+	// stride) until the victim's line is evicted from the LLC.
+	stride := uint32(16 * 64)
+	for w := uint32(1); w <= 2; w++ {
+		llc.Access(0x1000+w*stride, false, 2)
+	}
+	if llc.Lookup(0x1000, 1) {
+		t.Fatal("victim line survived LLC flooding")
+	}
+	if l1.Lookup(0x1000, 1) {
+		t.Fatal("inclusion violated: L1 kept a line the LLC evicted")
+	}
+}

@@ -1,0 +1,125 @@
+package cache
+
+// TLBEntry caches one virtual-to-physical translation.
+type TLBEntry struct {
+	valid   bool
+	vpn     uint32
+	asid    int
+	pte     uint32
+	lastUse uint64
+}
+
+// TLB is a set-associative translation lookaside buffer. Entries are
+// tagged with an address-space identifier; shared TLB sets between
+// attacker and victim are the channel exploited by TLB side-channel
+// attacks (Gras et al., USENIX Security'18), reproduced in
+// internal/attack/cachesca.
+type TLB struct {
+	sets  int
+	ways  int
+	data  [][]TLBEntry
+	tick  uint64
+	Stats Stats
+}
+
+// NewTLB creates a TLB with the given geometry (sets must be a power of
+// two).
+func NewTLB(sets, ways int) *TLB {
+	if sets <= 0 || sets&(sets-1) != 0 || ways <= 0 {
+		panic("cache: bad TLB geometry")
+	}
+	t := &TLB{sets: sets, ways: ways, data: make([][]TLBEntry, sets)}
+	for i := range t.data {
+		t.data[i] = make([]TLBEntry, ways)
+	}
+	return t
+}
+
+// Sets returns the number of TLB sets.
+func (t *TLB) Sets() int { return t.sets }
+
+// Ways returns the TLB associativity.
+func (t *TLB) Ways() int { return t.ways }
+
+// SetIndexOf returns the set a virtual page number maps to.
+func (t *TLB) SetIndexOf(vpn uint32) int { return int(vpn % uint32(t.sets)) }
+
+// Lookup returns the cached PTE for (vpn, asid), if present.
+func (t *TLB) Lookup(vpn uint32, asid int) (uint32, bool) {
+	t.tick++
+	set := t.data[t.SetIndexOf(vpn)]
+	for w := range set {
+		e := &set[w]
+		if e.valid && e.vpn == vpn && e.asid == asid {
+			e.lastUse = t.tick
+			t.Stats.Hits++
+			return e.pte, true
+		}
+	}
+	t.Stats.Misses++
+	return 0, false
+}
+
+// Insert caches a translation, evicting LRU within the set.
+func (t *TLB) Insert(vpn uint32, asid int, pte uint32) {
+	t.tick++
+	set := t.data[t.SetIndexOf(vpn)]
+	victim, oldest := 0, ^uint64(0)
+	for w := range set {
+		if !set[w].valid {
+			victim = w
+			break
+		}
+		if set[w].lastUse < oldest {
+			oldest = set[w].lastUse
+			victim = w
+		}
+	}
+	if set[victim].valid {
+		t.Stats.Evictions++
+	}
+	set[victim] = TLBEntry{valid: true, vpn: vpn, asid: asid, pte: pte, lastUse: t.tick}
+}
+
+// FlushAll empties the TLB (full context switch without ASIDs).
+func (t *TLB) FlushAll() {
+	for i := range t.data {
+		for w := range t.data[i] {
+			t.data[i][w] = TLBEntry{}
+		}
+	}
+	t.Stats.Flushes++
+}
+
+// FlushASID removes entries belonging to one address space.
+func (t *TLB) FlushASID(asid int) {
+	for i := range t.data {
+		for w := range t.data[i] {
+			if t.data[i][w].valid && t.data[i][w].asid == asid {
+				t.data[i][w] = TLBEntry{}
+			}
+		}
+	}
+	t.Stats.Flushes++
+}
+
+// FlushPage removes one page's translation in one address space.
+func (t *TLB) FlushPage(vpn uint32, asid int) {
+	set := t.data[t.SetIndexOf(vpn)]
+	for w := range set {
+		if set[w].valid && set[w].vpn == vpn && set[w].asid == asid {
+			set[w] = TLBEntry{}
+		}
+	}
+}
+
+// ValidIn counts valid entries in set idx (the TLB Prime+Probe primitive).
+func (t *TLB) ValidIn(idx int) int {
+	n := 0
+	for _, e := range t.data[idx] {
+		if e.valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,739 @@
+// Package cpu implements the HS-32 core simulator: a functional,
+// cycle-approximate CPU with privilege levels, TrustZone-style worlds, an
+// MMU or MPU, branch prediction, and — the heart of the Section 4
+// experiments — a bounded transient-execution engine whose wrong-path
+// side effects persist in the caches after the architectural squash.
+//
+// Feature flags turn the hardware bugs of the surveyed attacks on and off:
+// speculation (Spectre), fault-deferred data forwarding (Meltdown) and
+// L1-terminal-fault forwarding (Foreshadow), so the same attack programs
+// can be run against vulnerable and fixed configurations.
+package cpu
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/intrust-sim/intrust/internal/cache"
+	"github.com/intrust-sim/intrust/internal/isa"
+	"github.com/intrust-sim/intrust/internal/mem"
+)
+
+// Features selects the microarchitectural behaviour of a core.
+type Features struct {
+	// Speculation enables branch-prediction-driven transient execution.
+	// In-order embedded cores leave it off and are immune to Spectre —
+	// the paper's point that IoT devices "do not incorporate the
+	// performance enhancements found in high-end CPUs".
+	Speculation bool
+	// SpecWindow caps the number of transiently executed instructions.
+	SpecWindow int
+	// MispredictPenalty is the cycle cost of a squash.
+	MispredictPenalty int
+	// FaultForwarding enables Meltdown-style forwarding: a faulting load
+	// hands its (permission-protected) data to dependents for the window
+	// between the access and the exception's retirement.
+	FaultForwarding bool
+	// L1TFForwarding enables Foreshadow: loads that fault on a clear
+	// present bit forward data from L1 if the frame bits of the dead PTE
+	// match a cached line.
+	L1TFForwarding bool
+	// TakenBranchCost is the pipeline-bubble cost of taken branches on
+	// non-speculative cores.
+	TakenBranchCost int
+}
+
+// HighEndFeatures returns the server/desktop-class configuration with all
+// performance enhancements (and thus all transient-execution bugs) on.
+func HighEndFeatures() Features {
+	return Features{
+		Speculation:       true,
+		SpecWindow:        64,
+		MispredictPenalty: 14,
+		FaultForwarding:   true,
+		L1TFForwarding:    true,
+	}
+}
+
+// MobileFeatures returns a mobile-class configuration: speculative, with a
+// shorter window.
+func MobileFeatures() Features {
+	return Features{
+		Speculation:       true,
+		SpecWindow:        24,
+		MispredictPenalty: 10,
+		FaultForwarding:   false, // typical in-order-retire mobile cores
+		L1TFForwarding:    false,
+	}
+}
+
+// EmbeddedFeatures returns the in-order microcontroller configuration.
+func EmbeddedFeatures() Features {
+	return Features{TakenBranchCost: 2}
+}
+
+// Counters tallies retired instructions by class for the energy model.
+type Counters struct {
+	ALU    uint64
+	Mul    uint64
+	Load   uint64
+	Store  uint64
+	Branch uint64
+	Jump   uint64
+	CSR    uint64
+	System uint64
+}
+
+// Total returns the number of retired instructions.
+func (k Counters) Total() uint64 {
+	return k.ALU + k.Mul + k.Load + k.Store + k.Branch + k.Jump + k.CSR + k.System
+}
+
+// StopReason tells why Run returned.
+type StopReason uint8
+
+const (
+	// StopHalt: the program executed HLT.
+	StopHalt StopReason = iota
+	// StopWFI: the core is waiting for an interrupt.
+	StopWFI
+	// StopMax: the instruction budget was exhausted.
+	StopMax
+)
+
+func (s StopReason) String() string {
+	switch s {
+	case StopHalt:
+		return "halt"
+	case StopWFI:
+		return "wfi"
+	case StopMax:
+		return "max-instructions"
+	}
+	return "stop?"
+}
+
+const numCSRs = 0x60
+
+// CPU is one HS-32 hardware thread.
+type CPU struct {
+	ID   int
+	Regs [isa.NumRegs]uint32
+	PC   uint32
+	Priv isa.Priv
+	// World is the TrustZone security state, mirrored in the WORLD CSR.
+	World mem.World
+	// Domain tags bus and cache accesses with the current security domain
+	// (0 = untrusted software; TEEs assign enclave IDs on entry).
+	Domain int
+
+	Bus  *mem.Controller
+	Hier *cache.Hierarchy
+	TLB  *cache.TLB
+	MPU  *MPU
+	Pred *Predictor
+	Feat Features
+	DVFS DVFS
+
+	Cycles  uint64
+	Instret uint64
+	Count   Counters
+	// BranchMispredicts counts squashed speculative paths.
+	BranchMispredicts uint64
+	// TransientExecuted counts instructions executed on squashed paths.
+	TransientExecuted uint64
+	// FaultsInjected counts DVFS/glitch bit flips applied to results.
+	FaultsInjected uint64
+
+	// Halted is set by HLT.
+	Halted bool
+	// Waiting is set by WFI until an interrupt arrives.
+	Waiting bool
+	// IRQ is the external interrupt line; it is cleared when taken.
+	IRQ bool
+
+	// KeyGate, when non-nil, decides whether a KEY0..KEY3 CSR access from
+	// pc at priv is allowed. SMART installs a program-counter gate here:
+	// the attestation key is readable only while executing the ROM
+	// routine. When nil, machine mode is required.
+	KeyGate func(csr int, pc uint32, priv isa.Priv) bool
+	// EcallHandler, when non-nil, may handle an ECALL at Go level
+	// (returning true) instead of the architectural trap. It models OS or
+	// monitor services without requiring a full in-ISA kernel.
+	EcallHandler func(c *CPU, code int32) bool
+	// SMCHandler handles secure monitor calls at Go level (TrustZone
+	// monitor). If nil, SMC traps to machine mode.
+	SMCHandler func(c *CPU, code int32) bool
+	// OnTrap observes every architectural trap taken.
+	OnTrap func(cause, tval uint32)
+	// LeakHook observes architecturally retired register writebacks, the
+	// hookup point for power-analysis instrumentation of in-ISA victims.
+	LeakHook func(value uint32)
+
+	csr         [numCSRs]uint32
+	inTransient bool
+	rng         *rand.Rand
+}
+
+// New creates a CPU attached to the given memory controller. Cache
+// hierarchy, TLB, MPU and predictor are optional and wired by the platform
+// layer.
+func New(id int, bus *mem.Controller) *CPU {
+	c := &CPU{
+		ID:   id,
+		Bus:  bus,
+		Priv: isa.PrivMachine,
+		DVFS: DefaultDVFS(),
+		rng:  rand.New(rand.NewSource(int64(id)*2654435761 + 12345)),
+	}
+	c.csr[isa.CSRFreq] = uint32(c.DVFS.FreqMHz)
+	c.csr[isa.CSRVolt] = uint32(c.DVFS.VoltMV)
+	return c
+}
+
+// Reset returns the core to its boot state without touching memory.
+func (c *CPU) Reset(pc uint32) {
+	c.Regs = [isa.NumRegs]uint32{}
+	c.PC = pc
+	c.Priv = isa.PrivMachine
+	c.World = mem.WorldSecure
+	c.Domain = 0
+	c.Halted = false
+	c.Waiting = false
+	c.IRQ = false
+	for i := range c.csr {
+		c.csr[i] = 0
+	}
+	c.csr[isa.CSRFreq] = uint32(c.DVFS.FreqMHz)
+	c.csr[isa.CSRVolt] = uint32(c.DVFS.VoltMV)
+	if c.TLB != nil {
+		c.TLB.FlushAll()
+	}
+}
+
+// CSR reads a CSR directly (harness/debug path, no permission checks).
+func (c *CPU) CSR(n int) uint32 {
+	switch n {
+	case isa.CSRCycle:
+		return uint32(c.Cycles)
+	case isa.CSRInstret:
+		return uint32(c.Instret)
+	case isa.CSRWorld:
+		return uint32(c.World)
+	}
+	return c.csr[n]
+}
+
+// SetCSR writes a CSR directly (harness/debug path).
+func (c *CPU) SetCSR(n int, v uint32) {
+	c.csr[n] = v
+	c.applyCSRSideEffects(n, v)
+}
+
+func (c *CPU) applyCSRSideEffects(n int, v uint32) {
+	switch n {
+	case isa.CSRFreq:
+		c.DVFS.FreqMHz = int(v)
+	case isa.CSRVolt:
+		c.DVFS.VoltMV = int(v)
+	case isa.CSRWorld:
+		if v == 0 {
+			c.World = mem.WorldSecure
+		} else {
+			c.World = mem.WorldNormal
+		}
+	}
+}
+
+// reg reads a register (x0 is hardwired zero).
+func (c *CPU) reg(r uint8) uint32 {
+	if r == isa.RegZero {
+		return 0
+	}
+	return c.Regs[r]
+}
+
+// setReg writes a register, applying DVFS fault injection to model timing
+// violations corrupting in-flight results, and feeding the leakage hook.
+func (c *CPU) setReg(r uint8, v uint32) {
+	if r == isa.RegZero {
+		return
+	}
+	if !c.inTransient {
+		if p := c.DVFS.FaultProb(); p > 0 && c.rng.Float64() < p {
+			v ^= 1 << uint(c.rng.Intn(32))
+			c.FaultsInjected++
+		}
+		if c.LeakHook != nil {
+			c.LeakHook(v)
+		}
+	}
+	c.Regs[r] = v
+}
+
+// setRegRaw writes a register without fault injection (used when seeding
+// transient windows with forwarded data).
+func (c *CPU) setRegRaw(r uint8, v uint32) {
+	if r != isa.RegZero {
+		c.Regs[r] = v
+	}
+}
+
+func (c *CPU) busAccess(pa uint32, size int, kind mem.AccessKind) mem.Access {
+	return mem.Access{
+		Addr: pa, Size: size, Kind: kind, Priv: c.Priv, World: c.World,
+		Init: mem.Initiator{Type: mem.InitCPU, ID: c.ID}, PC: c.PC, Domain: c.Domain,
+	}
+}
+
+// load performs an architectural data load at a translated physical
+// address, returning the raw value and charging cache latency.
+func (c *CPU) loadPhys(pa uint32, size int) (uint32, *Fault) {
+	v, err := c.Bus.Read(c.busAccess(pa, size, mem.KindLoad))
+	if err != nil {
+		return 0, &Fault{Cause: isa.CauseLoadFault, Addr: pa, Msg: err.Error()}
+	}
+	if c.Hier != nil {
+		r := c.Hier.Data(pa, false, c.Domain)
+		if !c.inTransient {
+			c.Cycles += uint64(r.Latency)
+		}
+	}
+	return v, nil
+}
+
+func (c *CPU) storePhys(pa uint32, size int, v uint32) *Fault {
+	if err := c.Bus.Write(c.busAccess(pa, size, mem.KindStore), v); err != nil {
+		return &Fault{Cause: isa.CauseStoreFault, Addr: pa, Msg: err.Error()}
+	}
+	if c.Hier != nil {
+		r := c.Hier.Data(pa, true, c.Domain)
+		c.Cycles += uint64(r.Latency)
+	}
+	return nil
+}
+
+// trap takes an architectural trap. EPC convention: ECALL/SMC record the
+// *following* instruction (handlers return past the call); faults record
+// the faulting instruction itself.
+func (c *CPU) trap(cause, tval uint32, epc uint32) error {
+	vec := c.csr[isa.CSRTvec]
+	if vec == 0 {
+		return fmt.Errorf("cpu%d: unhandled trap cause=%d tval=%#x pc=%#x (no trap vector)",
+			c.ID, cause, tval, c.PC)
+	}
+	c.csr[isa.CSREpc] = epc
+	c.csr[isa.CSRCause] = cause
+	c.csr[isa.CSRTval] = tval
+	st := c.csr[isa.CSRStatus]
+	// Save IE and privilege, then disable interrupts.
+	st &^= isa.StatusPIE | (3 << isa.StatusPPSh)
+	if st&isa.StatusIE != 0 {
+		st |= isa.StatusPIE
+	}
+	st |= uint32(c.Priv) << isa.StatusPPSh
+	st &^= isa.StatusIE
+	c.csr[isa.CSRStatus] = st
+	if cause == isa.CauseSMC {
+		c.Priv = isa.PrivMachine
+	} else if c.Priv < isa.PrivSuper {
+		c.Priv = isa.PrivSuper
+	}
+	c.PC = vec
+	if c.OnTrap != nil {
+		c.OnTrap(cause, tval)
+	}
+	return nil
+}
+
+// trapTo takes a trap and returns the next PC for exec (the trap vector),
+// or the unrecoverable-simulation error.
+func (c *CPU) trapTo(cause, tval, epc uint32) (uint32, error) {
+	if err := c.trap(cause, tval, epc); err != nil {
+		return c.PC, err
+	}
+	return c.PC, nil
+}
+
+func (c *CPU) eret() {
+	st := c.csr[isa.CSRStatus]
+	c.PC = c.csr[isa.CSREpc]
+	if st&isa.StatusPIE != 0 {
+		c.csr[isa.CSRStatus] |= isa.StatusIE
+	} else {
+		c.csr[isa.CSRStatus] &^= isa.StatusIE
+	}
+	c.Priv = isa.Priv(st >> isa.StatusPPSh & 3)
+}
+
+// Step executes one architectural instruction (plus any transient windows
+// it opens). It returns an error only for unrecoverable simulation states
+// (trap with no vector).
+func (c *CPU) Step() error {
+	if c.Halted {
+		return nil
+	}
+	if c.IRQ && (c.csr[isa.CSRStatus]&isa.StatusIE != 0 || c.Waiting) {
+		c.IRQ = false
+		c.Waiting = false
+		return c.trap(isa.CauseInterrupt, 0, c.PC)
+	}
+	if c.Waiting {
+		c.Cycles++
+		return nil
+	}
+
+	pa, _, flt := c.translate(c.PC, classFetch)
+	if flt != nil {
+		return c.trap(flt.Cause, flt.Addr, c.PC)
+	}
+	word, err := c.Bus.Read(c.busAccess(pa, 4, mem.KindFetch))
+	if err != nil {
+		return c.trap(isa.CauseFetchFault, c.PC, c.PC)
+	}
+	if c.Hier != nil {
+		r := c.Hier.Fetch(pa, c.Domain)
+		c.Cycles += uint64(r.Latency)
+	}
+	c.Cycles++
+
+	in := isa.Decode(word)
+	next, ferr := c.exec(in)
+	if ferr != nil {
+		return ferr
+	}
+	c.PC = next
+	c.Instret++
+	return nil
+}
+
+// exec executes a decoded instruction architecturally and returns the next
+// PC. Traps are taken inside.
+func (c *CPU) exec(in isa.Instruction) (uint32, error) {
+	pc := c.PC
+	seq := pc + 4
+	switch in.Op {
+	case isa.OpADD, isa.OpSUB, isa.OpAND, isa.OpOR, isa.OpXOR,
+		isa.OpSLL, isa.OpSRL, isa.OpSRA, isa.OpSLT, isa.OpSLTU:
+		c.Count.ALU++
+		c.setReg(in.Rd, aluOp(in.Op, c.reg(in.Rs1), c.reg(in.Rs2)))
+		return seq, nil
+	case isa.OpMUL:
+		c.Count.Mul++
+		c.setReg(in.Rd, c.reg(in.Rs1)*c.reg(in.Rs2))
+		return seq, nil
+	case isa.OpADDI, isa.OpANDI, isa.OpORI, isa.OpXORI, isa.OpSLLI, isa.OpSRLI, isa.OpSLTI:
+		c.Count.ALU++
+		c.setReg(in.Rd, aluImmOp(in.Op, c.reg(in.Rs1), in.Imm))
+		return seq, nil
+	case isa.OpLUI:
+		c.Count.ALU++
+		c.setReg(in.Rd, uint32(in.Imm<<10))
+		return seq, nil
+
+	case isa.OpLW, isa.OpLB, isa.OpLBU:
+		c.Count.Load++
+		va := c.reg(in.Rs1) + uint32(in.Imm)
+		size := 4
+		if in.Op != isa.OpLW {
+			size = 1
+		}
+		pa, _, flt := c.translate(va, classLoad)
+		if flt != nil {
+			c.meltdownWindow(flt, in, seq)
+			return c.trapTo(flt.Cause, va, pc)
+		}
+		v, lf := c.loadPhys(pa, size)
+		if lf != nil {
+			return c.trapTo(lf.Cause, va, pc)
+		}
+		if in.Op == isa.OpLB && v&0x80 != 0 {
+			v |= 0xffffff00
+		}
+		c.setReg(in.Rd, v)
+		return seq, nil
+
+	case isa.OpSW, isa.OpSB:
+		c.Count.Store++
+		va := c.reg(in.Rs1) + uint32(in.Imm)
+		size := 4
+		if in.Op == isa.OpSB {
+			size = 1
+		}
+		pa, _, flt := c.translate(va, classStore)
+		if flt != nil {
+			return c.trapTo(flt.Cause, va, pc)
+		}
+		if sf := c.storePhys(pa, size, c.reg(in.Rs2)); sf != nil {
+			return c.trapTo(sf.Cause, va, pc)
+		}
+		return seq, nil
+
+	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
+		c.Count.Branch++
+		taken := branchTaken(in.Op, c.reg(in.Rs1), c.reg(in.Rs2))
+		target := pc + uint32(in.Imm)*4
+		if c.Feat.Speculation && c.Pred != nil {
+			predicted := c.Pred.PredictBranch(pc)
+			c.Pred.UpdateBranch(pc, taken)
+			if predicted != taken {
+				c.BranchMispredicts++
+				c.Pred.BranchMiss++
+				wrong := seq
+				if predicted {
+					wrong = target
+				}
+				c.runTransient(wrong, nil)
+				c.Cycles += uint64(c.Feat.MispredictPenalty)
+			}
+		} else if taken {
+			c.Cycles += uint64(c.Feat.TakenBranchCost)
+		}
+		if taken {
+			return target, nil
+		}
+		return seq, nil
+
+	case isa.OpJAL:
+		c.Count.Jump++
+		if in.Rd == isa.RegRA && c.Pred != nil {
+			c.Pred.PushReturn(seq)
+		}
+		c.setReg(in.Rd, seq)
+		return pc + uint32(in.Imm)*4, nil
+
+	case isa.OpJALR:
+		c.Count.Jump++
+		target := (c.reg(in.Rs1) + uint32(in.Imm)) &^ 3
+		if c.Pred != nil {
+			isReturn := in.Rd == isa.RegZero && in.Rs1 == isa.RegRA
+			var predicted uint32
+			var ok bool
+			if isReturn {
+				predicted, ok = c.Pred.PopReturn()
+			} else {
+				predicted, ok = c.Pred.PredictTarget(pc)
+				c.Pred.UpdateTarget(pc, target)
+			}
+			if c.Feat.Speculation && ok && predicted != target {
+				c.BranchMispredicts++
+				c.Pred.TargetMiss++
+				c.runTransient(predicted, nil)
+				c.Cycles += uint64(c.Feat.MispredictPenalty)
+			}
+		}
+		c.setReg(in.Rd, seq)
+		return target, nil
+
+	case isa.OpCSRR:
+		c.Count.CSR++
+		n := int(in.Imm)
+		if !c.csrAllowed(n, false) {
+			return c.trapTo(isa.CauseIllegal, uint32(n), pc)
+		}
+		c.setReg(in.Rd, c.CSR(n))
+		return seq, nil
+
+	case isa.OpCSRW:
+		c.Count.CSR++
+		n := int(in.Imm)
+		if !c.csrAllowed(n, true) {
+			return c.trapTo(isa.CauseIllegal, uint32(n), pc)
+		}
+		c.SetCSR(n, c.reg(in.Rs1))
+		return seq, nil
+
+	case isa.OpECALL:
+		c.Count.System++
+		if c.EcallHandler != nil && c.EcallHandler(c, in.Imm) {
+			return c.PC + 4, nil
+		}
+		cause := uint32(isa.CauseEcallU)
+		if c.Priv >= isa.PrivSuper {
+			cause = isa.CauseEcallS
+		}
+		return c.trapTo(cause, uint32(in.Imm), seq)
+
+	case isa.OpERET:
+		c.Count.System++
+		if c.Priv < isa.PrivSuper {
+			return c.trapTo(isa.CauseIllegal, 0, pc)
+		}
+		c.eret()
+		return c.PC, nil
+
+	case isa.OpSMC:
+		c.Count.System++
+		if c.SMCHandler != nil && c.SMCHandler(c, in.Imm) {
+			return c.PC + 4, nil
+		}
+		return c.trapTo(isa.CauseSMC, uint32(in.Imm), seq)
+
+	case isa.OpFENCE:
+		c.Count.System++
+		return seq, nil
+
+	case isa.OpCLFLUSH:
+		c.Count.System++
+		va := c.reg(in.Rs1) + uint32(in.Imm)
+		pa, _, flt := c.translate(va, classLoad)
+		if flt != nil {
+			return c.trapTo(flt.Cause, va, pc)
+		}
+		if c.Hier != nil {
+			c.Hier.FlushAddr(pa)
+			c.Cycles += 4
+		}
+		return seq, nil
+
+	case isa.OpHLT:
+		c.Count.System++
+		c.Halted = true
+		return pc, nil
+
+	case isa.OpWFI:
+		c.Count.System++
+		if c.IRQ {
+			return seq, nil
+		}
+		c.Waiting = true
+		return seq, nil
+	}
+	return c.trapTo(isa.CauseIllegal, 0, pc)
+}
+
+func (c *CPU) csrAllowed(n int, write bool) bool {
+	if n < 0 || n >= numCSRs {
+		return false
+	}
+	switch n {
+	case isa.CSRCycle, isa.CSRInstret:
+		return !write
+	case isa.CSRKey0, isa.CSRKey1, isa.CSRKey2, isa.CSRKey3:
+		if c.KeyGate != nil {
+			return c.KeyGate(n, c.PC, c.Priv)
+		}
+		return c.Priv == isa.PrivMachine
+	case isa.CSRWorld:
+		if write {
+			return c.Priv == isa.PrivMachine
+		}
+		return true
+	case isa.CSRFreq, isa.CSRVolt:
+		// The DVFS regulator interface is reachable from any kernel —
+		// including the normal world. CLKSCREW depends on this.
+		if write {
+			return c.Priv >= isa.PrivSuper
+		}
+		return true
+	default:
+		return c.Priv >= isa.PrivSuper
+	}
+}
+
+func aluOp(op isa.Opcode, a, b uint32) uint32 {
+	switch op {
+	case isa.OpADD:
+		return a + b
+	case isa.OpSUB:
+		return a - b
+	case isa.OpAND:
+		return a & b
+	case isa.OpOR:
+		return a | b
+	case isa.OpXOR:
+		return a ^ b
+	case isa.OpSLL:
+		return a << (b & 31)
+	case isa.OpSRL:
+		return a >> (b & 31)
+	case isa.OpSRA:
+		return uint32(int32(a) >> (b & 31))
+	case isa.OpSLT:
+		if int32(a) < int32(b) {
+			return 1
+		}
+		return 0
+	case isa.OpSLTU:
+		if a < b {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+func aluImmOp(op isa.Opcode, a uint32, imm int32) uint32 {
+	b := uint32(imm)
+	switch op {
+	case isa.OpADDI:
+		return a + b
+	case isa.OpANDI:
+		return a & b
+	case isa.OpORI:
+		return a | b
+	case isa.OpXORI:
+		return a ^ b
+	case isa.OpSLLI:
+		return a << (b & 31)
+	case isa.OpSRLI:
+		return a >> (b & 31)
+	case isa.OpSLTI:
+		if int32(a) < imm {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+func branchTaken(op isa.Opcode, a, b uint32) bool {
+	switch op {
+	case isa.OpBEQ:
+		return a == b
+	case isa.OpBNE:
+		return a != b
+	case isa.OpBLT:
+		return int32(a) < int32(b)
+	case isa.OpBGE:
+		return int32(a) >= int32(b)
+	case isa.OpBLTU:
+		return a < b
+	case isa.OpBGEU:
+		return a >= b
+	}
+	return false
+}
+
+// RunResult reports how a Run ended.
+type RunResult struct {
+	Reason  StopReason
+	Instret uint64
+	Cycles  uint64
+}
+
+// Run executes until HLT, WFI or maxSteps step attempts. The bound counts
+// steps rather than retired instructions so that trap loops (e.g. a fault
+// whose handler faults again) still terminate.
+func (c *CPU) Run(maxSteps uint64) (RunResult, error) {
+	start := c.Instret
+	startCycles := c.Cycles
+	for n := uint64(0); n < maxSteps; n++ {
+		if err := c.Step(); err != nil {
+			return RunResult{Reason: StopMax, Instret: c.Instret - start, Cycles: c.Cycles - startCycles}, err
+		}
+		if c.Halted {
+			return RunResult{Reason: StopHalt, Instret: c.Instret - start, Cycles: c.Cycles - startCycles}, nil
+		}
+		if c.Waiting {
+			return RunResult{Reason: StopWFI, Instret: c.Instret - start, Cycles: c.Cycles - startCycles}, nil
+		}
+	}
+	return RunResult{Reason: StopMax, Instret: c.Instret - start, Cycles: c.Cycles - startCycles}, nil
+}
+
+// RaiseIRQ asserts the external interrupt line.
+func (c *CPU) RaiseIRQ() { c.IRQ = true; c.Waiting = false }
+
+// InterruptsEnabled reports the IE bit.
+func (c *CPU) InterruptsEnabled() bool { return c.csr[isa.CSRStatus]&isa.StatusIE != 0 }

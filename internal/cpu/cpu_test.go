@@ -1,0 +1,487 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/intrust-sim/intrust/internal/cache"
+	"github.com/intrust-sim/intrust/internal/isa"
+	"github.com/intrust-sim/intrust/internal/mem"
+)
+
+// testMachine builds a 4 MiB flat-RAM machine with caches and predictor.
+func testMachine(t *testing.T, feat Features) (*CPU, *mem.Memory) {
+	t.Helper()
+	m := mem.NewMemory()
+	m.MustAddRegion(mem.Region{Name: "ram", Base: 0, Size: 4 << 20, Kind: mem.RegionRAM})
+	ctl := mem.NewController(m)
+	c := New(0, ctl)
+	c.Hier = &cache.Hierarchy{
+		L1I:        cache.New(cache.Config{Name: "l1i", Sets: 64, Ways: 4, LineSize: 64, HitLatency: 1}),
+		L1D:        cache.New(cache.Config{Name: "l1d", Sets: 64, Ways: 4, LineSize: 64, HitLatency: 2}),
+		LLC:        cache.New(cache.Config{Name: "llc", Sets: 1024, Ways: 8, LineSize: 64, HitLatency: 18}),
+		MemLatency: 100,
+	}
+	c.TLB = cache.NewTLB(32, 4)
+	c.Pred = NewPredictor(1024, 256, 16)
+	c.Feat = feat
+	return c, m
+}
+
+// loadAndRun assembles src, loads it, and runs from its entry point.
+func loadAndRun(t *testing.T, c *CPU, m *mem.Memory, src string, max uint64) RunResult {
+	t.Helper()
+	p := isa.MustAssemble(src)
+	if err := m.LoadProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset(p.Entry)
+	res, err := c.Run(max)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestALUProgram(t *testing.T) {
+	c, m := testMachine(t, EmbeddedFeatures())
+	loadAndRun(t, c, m, `
+        .org 0x1000
+        li   a0, 100
+        li   a1, 7
+        add  a2, a0, a1    ; 107
+        sub  a3, a0, a1    ; 93
+        mul  t0, a0, a1    ; 700
+        and  t1, a0, a1    ; 4
+        or   t2, a0, a1    ; 103
+        xor  t3, a0, a1    ; 99
+        slli t4, a1, 4     ; 112
+        hlt
+`, 100)
+	want := map[uint8]uint32{
+		isa.RegA2: 107, isa.RegA3: 93, isa.RegT0: 700,
+		isa.RegT1: 4, isa.RegT2: 103, isa.RegT3: 99, isa.RegT4: 112,
+	}
+	for r, v := range want {
+		if c.Regs[r] != v {
+			t.Errorf("%s = %d, want %d", isa.RegName(r), c.Regs[r], v)
+		}
+	}
+}
+
+func TestSignedOps(t *testing.T) {
+	c, m := testMachine(t, EmbeddedFeatures())
+	loadAndRun(t, c, m, `
+        li   a0, -8
+        li   a1, 2
+        sra  a2, a0, a1    ; -2
+        srl  a3, a0, a1    ; big positive
+        slt  t0, a0, a1    ; 1 (signed)
+        sltu t1, a0, a1    ; 0 (unsigned: -8 is huge)
+        slti t2, a0, -4    ; 1
+        hlt
+`, 100)
+	if int32(c.Regs[isa.RegA2]) != -2 {
+		t.Errorf("sra = %d", int32(c.Regs[isa.RegA2]))
+	}
+	if c.Regs[isa.RegA3] != 0x3ffffffe {
+		t.Errorf("srl = %#x", c.Regs[isa.RegA3])
+	}
+	if c.Regs[isa.RegT0] != 1 || c.Regs[isa.RegT1] != 0 || c.Regs[isa.RegT2] != 1 {
+		t.Errorf("slt=%d sltu=%d slti=%d", c.Regs[isa.RegT0], c.Regs[isa.RegT1], c.Regs[isa.RegT2])
+	}
+}
+
+func TestLoadStoreBytesAndWords(t *testing.T) {
+	c, m := testMachine(t, EmbeddedFeatures())
+	loadAndRun(t, c, m, `
+        .org 0x1000
+        li   t0, 0x2000
+        li   t1, 0xdeadbeef
+        sw   t1, 0(t0)
+        lw   a0, 0(t0)       ; 0xdeadbeef
+        lbu  a1, 3(t0)       ; 0xde
+        lb   a2, 3(t0)       ; sign-extended 0xde -> negative
+        li   t2, 0x5a
+        sb   t2, 1(t0)
+        lw   a3, 0(t0)       ; 0xdead5aef
+        hlt
+`, 100)
+	if c.Regs[isa.RegA0] != 0xdeadbeef {
+		t.Errorf("lw = %#x", c.Regs[isa.RegA0])
+	}
+	if c.Regs[isa.RegA1] != 0xde {
+		t.Errorf("lbu = %#x", c.Regs[isa.RegA1])
+	}
+	if c.Regs[isa.RegA2] != 0xffffffde {
+		t.Errorf("lb = %#x", c.Regs[isa.RegA2])
+	}
+	if c.Regs[isa.RegA3] != 0xdead5aef {
+		t.Errorf("after sb = %#x", c.Regs[isa.RegA3])
+	}
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	c, m := testMachine(t, EmbeddedFeatures())
+	// Sum 1..10 with a loop.
+	res := loadAndRun(t, c, m, `
+        li   a0, 0     ; sum
+        li   t0, 1     ; i
+        li   t1, 10
+loop:   add  a0, a0, t0
+        addi t0, t0, 1
+        ble  t0, t1, loop
+        hlt
+`, 1000)
+	if c.Regs[isa.RegA0] != 55 {
+		t.Errorf("sum = %d, want 55", c.Regs[isa.RegA0])
+	}
+	if res.Reason != StopHalt {
+		t.Errorf("stop reason = %v", res.Reason)
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	c, m := testMachine(t, EmbeddedFeatures())
+	loadAndRun(t, c, m, `
+        .org 0x1000
+        li   a0, 5
+        call double
+        call double
+        hlt
+double: add a0, a0, a0
+        ret
+`, 100)
+	if c.Regs[isa.RegA0] != 20 {
+		t.Errorf("after two doublings a0 = %d", c.Regs[isa.RegA0])
+	}
+}
+
+func TestSpeculativeCoreSameResults(t *testing.T) {
+	// Architectural results must be identical with speculation on and off.
+	prog := `
+        li   a0, 0
+        li   t0, 0
+        li   t1, 37
+loop:   andi t2, t0, 3
+        beq  t2, zero, skip
+        add  a0, a0, t0
+skip:   addi t0, t0, 1
+        bne  t0, t1, loop
+        hlt
+`
+	c1, m1 := testMachine(t, EmbeddedFeatures())
+	loadAndRun(t, c1, m1, prog, 10000)
+	c2, m2 := testMachine(t, HighEndFeatures())
+	loadAndRun(t, c2, m2, prog, 10000)
+	if c1.Regs[isa.RegA0] != c2.Regs[isa.RegA0] {
+		t.Fatalf("speculation changed architecture: %d vs %d",
+			c1.Regs[isa.RegA0], c2.Regs[isa.RegA0])
+	}
+	if c2.BranchMispredicts == 0 {
+		t.Error("irregular branch pattern produced no mispredictions")
+	}
+}
+
+func TestEcallTrapAndEret(t *testing.T) {
+	c, m := testMachine(t, EmbeddedFeatures())
+	loadAndRun(t, c, m, `
+        .org 0x100
+        li   t0, 0x500
+        csrw tvec, t0
+        li   a0, 1
+        ecall 7            ; traps to handler
+        addi a0, a0, 10    ; resumed here: a0 = 102
+        hlt
+
+        .org 0x500
+handler: csrr a1, cause
+        csrr a2, tval
+        li   a0, 92
+        eret
+`, 100)
+	if c.Regs[isa.RegA0] != 102 {
+		t.Errorf("a0 = %d, want 102", c.Regs[isa.RegA0])
+	}
+	if c.Regs[isa.RegA1] != isa.CauseEcallS {
+		t.Errorf("cause = %d", c.Regs[isa.RegA1])
+	}
+	if c.Regs[isa.RegA2] != 7 {
+		t.Errorf("tval = %d, want ecall code 7", c.Regs[isa.RegA2])
+	}
+}
+
+func TestEcallGoHandler(t *testing.T) {
+	c, m := testMachine(t, EmbeddedFeatures())
+	var got int32
+	c.EcallHandler = func(c *CPU, code int32) bool {
+		got = code
+		c.Regs[isa.RegA0] = 4242
+		return true
+	}
+	loadAndRun(t, c, m, `
+        ecall 33
+        hlt
+`, 10)
+	if got != 33 || c.Regs[isa.RegA0] != 4242 {
+		t.Errorf("handler saw %d, a0 = %d", got, c.Regs[isa.RegA0])
+	}
+}
+
+func TestUnhandledTrapIsError(t *testing.T) {
+	c, m := testMachine(t, EmbeddedFeatures())
+	p := isa.MustAssemble(".word 0xffffffff") // undecodable
+	if err := m.LoadProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset(p.Entry)
+	_, err := c.Run(10)
+	if err == nil || !strings.Contains(err.Error(), "unhandled trap") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIllegalCSRAccessTraps(t *testing.T) {
+	c, m := testMachine(t, EmbeddedFeatures())
+	p := isa.MustAssemble(`
+        li   t0, 0x300
+        csrw tvec, t0
+        .org 0x200
+user:   csrw satp, zero    ; illegal from user mode
+        hlt
+        .org 0x300
+trap:   csrr a0, cause
+        hlt
+`)
+	if err := m.LoadProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset(0)
+	// Execute the two setup instructions (li = 2 slots + csrw).
+	for i := 0; i < 3; i++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Priv = isa.PrivUser
+	c.PC = 0x200
+	if _, err := c.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[isa.RegA0] != isa.CauseIllegal {
+		t.Errorf("cause = %d, want illegal", c.Regs[isa.RegA0])
+	}
+	if c.Priv != isa.PrivSuper {
+		t.Errorf("trap did not raise privilege: %v", c.Priv)
+	}
+}
+
+func TestCycleCounterAndCacheTiming(t *testing.T) {
+	c, m := testMachine(t, EmbeddedFeatures())
+	// Measure a cold load then a warm load of the same address with
+	// rdcycle; the difference must expose the cache hit/miss contrast —
+	// the primitive every cache side-channel attack relies on.
+	loadAndRun(t, c, m, `
+        li   t0, 0x3000
+        rdcycle a0
+        lw   t1, 0(t0)
+        rdcycle a1
+        lw   t2, 0(t0)
+        rdcycle a2
+        hlt
+`, 100)
+	cold := c.Regs[isa.RegA1] - c.Regs[isa.RegA0]
+	warm := c.Regs[isa.RegA2] - c.Regs[isa.RegA1]
+	if warm >= cold {
+		t.Fatalf("warm load (%d cycles) not faster than cold load (%d cycles)", warm, cold)
+	}
+	if cold-warm < 50 {
+		t.Errorf("hit/miss contrast too small: cold %d warm %d", cold, warm)
+	}
+}
+
+func TestClflushRestoresMissLatency(t *testing.T) {
+	c, m := testMachine(t, EmbeddedFeatures())
+	loadAndRun(t, c, m, `
+        li   t0, 0x3000
+        lw   t1, 0(t0)      ; fill
+        rdcycle a0
+        lw   t1, 0(t0)      ; hit
+        rdcycle a1
+        clflush 0(t0)
+        rdcycle a2
+        lw   t1, 0(t0)      ; miss again
+        rdcycle a3
+        hlt
+`, 100)
+	hit := c.Regs[isa.RegA1] - c.Regs[isa.RegA0]
+	missAfterFlush := c.Regs[isa.RegA3] - c.Regs[isa.RegA2]
+	if missAfterFlush <= hit {
+		t.Fatalf("clflush did not evict: hit %d, post-flush %d", hit, missAfterFlush)
+	}
+}
+
+func TestWFIAndInterrupt(t *testing.T) {
+	c, m := testMachine(t, EmbeddedFeatures())
+	p := isa.MustAssemble(`
+        li   t0, 0x400
+        csrw tvec, t0
+        li   t0, 1
+        csrw status, t0     ; enable interrupts
+        wfi
+        hlt
+        .org 0x400
+isr:    li a0, 77
+        hlt
+`)
+	if err := m.LoadProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset(0)
+	res, err := c.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != StopWFI {
+		t.Fatalf("expected WFI stop, got %v", res.Reason)
+	}
+	c.RaiseIRQ()
+	if _, err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[isa.RegA0] != 77 {
+		t.Errorf("ISR did not run: a0 = %d", c.Regs[isa.RegA0])
+	}
+}
+
+func TestInterruptMaskedUntilEnabled(t *testing.T) {
+	// With IE clear, a pending IRQ must wait — the SMART property that
+	// attestation with interrupts disabled delays interrupt service.
+	c, m := testMachine(t, EmbeddedFeatures())
+	p := isa.MustAssemble(`
+        li   t0, 0x400
+        csrw tvec, t0
+        li   t1, 200
+busy:   addi t1, t1, -1
+        bne  t1, zero, busy
+        li   t0, 1
+        csrw status, t0    ; enable -> IRQ taken now
+        li   t2, 1
+stall:  bne  t2, zero, stall
+        .org 0x400
+isr:    csrr a0, instret
+        hlt
+`)
+	if err := m.LoadProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset(0)
+	c.RaiseIRQ()
+	if _, err := c.Run(2000); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Halted {
+		t.Fatal("ISR never ran")
+	}
+	// The busy loop retires ~400 instructions before IE is set; the ISR
+	// must not have preempted it.
+	if c.Regs[isa.RegA0] < 400 {
+		t.Errorf("IRQ taken too early: instret at ISR = %d", c.Regs[isa.RegA0])
+	}
+}
+
+func TestKeyGateCSR(t *testing.T) {
+	c, m := testMachine(t, EmbeddedFeatures())
+	c.SetCSR(isa.CSRKey0, 0x5ec2e7)
+	// Gate: key readable only from ROM-ish region [0x800, 0x900).
+	c.KeyGate = func(csr int, pc uint32, priv isa.Priv) bool {
+		return pc >= 0x800 && pc < 0x900
+	}
+	p := isa.MustAssemble(`
+        .org 0x200
+steal:  csrr a1, key0      ; outside the gate: traps
+        hlt
+        .org 0x300
+trap:   li   a1, 0
+        hlt
+        .org 0x800
+attest: csrr a0, key0      ; inside the gate: allowed
+        j    steal
+`)
+	if err := m.LoadProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset(0x800)
+	c.SetCSR(isa.CSRTvec, 0x300)
+	c.SetCSR(isa.CSRKey0, 0x5ec2e7)
+	c.Priv = isa.PrivUser
+	if _, err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[isa.RegA0] != 0x5ec2e7 {
+		t.Errorf("gated read failed: a0 = %#x", c.Regs[isa.RegA0])
+	}
+	if c.Regs[isa.RegA1] != 0 {
+		t.Errorf("ungated read leaked key: a1 = %#x", c.Regs[isa.RegA1])
+	}
+}
+
+func TestWorldCSRAndSMCHandler(t *testing.T) {
+	c, m := testMachine(t, EmbeddedFeatures())
+	worlds := []mem.World{}
+	c.SMCHandler = func(c *CPU, code int32) bool {
+		// Monitor: flip the world.
+		if c.World == mem.WorldNormal {
+			c.World = mem.WorldSecure
+		} else {
+			c.World = mem.WorldNormal
+		}
+		worlds = append(worlds, c.World)
+		return true
+	}
+	loadAndRun(t, c, m, `
+        csrr a0, world
+        smc  1
+        csrr a1, world
+        smc  2
+        csrr a2, world
+        hlt
+`, 100)
+	if c.Regs[isa.RegA0] != uint32(mem.WorldSecure) {
+		t.Errorf("boot world = %d", c.Regs[isa.RegA0])
+	}
+	if c.Regs[isa.RegA1] != uint32(mem.WorldNormal) || c.Regs[isa.RegA2] != uint32(mem.WorldSecure) {
+		t.Errorf("world after SMCs = %d, %d", c.Regs[isa.RegA1], c.Regs[isa.RegA2])
+	}
+	if len(worlds) != 2 {
+		t.Errorf("SMC handler calls = %d", len(worlds))
+	}
+}
+
+func TestRunMaxInstructions(t *testing.T) {
+	c, m := testMachine(t, EmbeddedFeatures())
+	res := loadAndRun(t, c, m, "spin: j spin", 50)
+	if res.Reason != StopMax || res.Instret != 50 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestCountersClassify(t *testing.T) {
+	c, m := testMachine(t, EmbeddedFeatures())
+	loadAndRun(t, c, m, `
+        li   t0, 0x2000   ; 2 ALU
+        lw   t1, 0(t0)    ; load
+        sw   t1, 4(t0)    ; store
+        mul  t2, t1, t1   ; mul
+        beq  zero, zero, next ; branch
+next:   csrr a0, cycle    ; csr
+        hlt               ; system
+`, 100)
+	k := c.Count
+	if k.ALU != 2 || k.Load != 1 || k.Store != 1 || k.Mul != 1 || k.Branch != 1 || k.CSR != 1 || k.System != 1 {
+		t.Errorf("counters = %+v", k)
+	}
+	if k.Total() != c.Instret {
+		t.Errorf("total %d != instret %d", k.Total(), c.Instret)
+	}
+}

@@ -1,0 +1,68 @@
+package cpu
+
+// DVFS models the dynamic voltage and frequency scaling regulator of the
+// SoC. Software with driver access (the OS kernel — i.e. the normal world
+// on TrustZone platforms) sets operating points through the FREQ/VOLT
+// CSRs.
+//
+// The security-relevant physics, reproduced from CLKSCREW (Tang et al.,
+// USENIX Security'17): every voltage has a maximum safe frequency; pushing
+// the clock beyond that margin shortens the cycle below the critical path
+// of the logic, so flip-flops latch wrong values. The regulator performs
+// no cross-check between the frequency and voltage domains, and its
+// interface is reachable from outside the secure world — those two design
+// facts are the entire attack surface.
+type DVFS struct {
+	FreqMHz int // current frequency
+	VoltMV  int // current voltage
+
+	// BaseFreqMHz is the safe frequency at BaseVoltMV.
+	BaseFreqMHz int
+	BaseVoltMV  int
+	// SlopeMHzPerMV is how much safe frequency each extra millivolt buys.
+	SlopeMHzPerMV float64
+	// FaultPerMHz is the per-instruction fault probability contributed by
+	// each MHz beyond the safe margin.
+	FaultPerMHz float64
+	// MaxFaultProb caps the per-instruction fault probability.
+	MaxFaultProb float64
+}
+
+// DefaultDVFS returns a mobile-class regulator: 1.2 GHz safe at 900 mV,
+// gaining 2 MHz of margin per mV.
+func DefaultDVFS() DVFS {
+	return DVFS{
+		FreqMHz:       1200,
+		VoltMV:        900,
+		BaseFreqMHz:   1200,
+		BaseVoltMV:    900,
+		SlopeMHzPerMV: 2.0,
+		FaultPerMHz:   0.004,
+		MaxFaultProb:  0.95,
+	}
+}
+
+// MaxSafeFreqMHz returns the highest reliable frequency at voltage v.
+func (d *DVFS) MaxSafeFreqMHz(v int) int {
+	return d.BaseFreqMHz + int(d.SlopeMHzPerMV*float64(v-d.BaseVoltMV))
+}
+
+// MarginMHz returns how far the current point exceeds the safe frequency
+// (0 when operating safely).
+func (d *DVFS) MarginMHz() int {
+	m := d.FreqMHz - d.MaxSafeFreqMHz(d.VoltMV)
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+// FaultProb returns the per-instruction probability of a timing fault at
+// the current operating point.
+func (d *DVFS) FaultProb() float64 {
+	p := float64(d.MarginMHz()) * d.FaultPerMHz
+	if p > d.MaxFaultProb {
+		return d.MaxFaultProb
+	}
+	return p
+}

@@ -1,0 +1,277 @@
+package cpu
+
+import (
+	"fmt"
+
+	"github.com/intrust-sim/intrust/internal/isa"
+	"github.com/intrust-sim/intrust/internal/mem"
+)
+
+// Page-table entry layout: frame base in bits [31:12], flags in [11:0].
+// A leaf must have PTEValid plus at least one of R/W/X. A non-leaf (level-1
+// pointer) has PTEValid and no permission bits.
+const (
+	PTEValid    = 1 << 0 // present bit — clearing it is the Foreshadow lever
+	PTERead     = 1 << 1
+	PTEWrite    = 1 << 2
+	PTEExec     = 1 << 3
+	PTEUser     = 1 << 4 // accessible from user mode
+	PTEReserved = 1 << 9 // reserved-bit set: the alternative L1TF trigger
+
+	// PageSize is the translation granule.
+	PageSize = 4096
+)
+
+// SATP field helpers: bit 31 enables translation, bits [27:20] hold the
+// ASID, bits [19:0] the root table's physical frame number.
+const (
+	SatpEnable    = uint32(1) << 31
+	satpASIDShift = 20
+	satpASIDMask  = 0xff
+	satpPPNMask   = 0xfffff
+)
+
+// MakeSATP builds a SATP value from a root-table physical address and ASID.
+func MakeSATP(root uint32, asid int) uint32 {
+	return SatpEnable | uint32(asid&satpASIDMask)<<satpASIDShift | (root / PageSize & satpPPNMask)
+}
+
+// Fault describes a failed translation or memory access. It preserves the
+// observed leaf PTE because the transient-forwarding hardware bug (L1TF)
+// uses the frame bits of a *not-present* PTE to match L1 lines.
+type Fault struct {
+	Cause      uint32 // isa.CauseFetchFault, CauseLoadFault, CauseStoreFault, CauseBusError
+	Addr       uint32 // faulting virtual address
+	PTE        uint32 // leaf PTE content observed during the walk (0 if none)
+	NotPresent bool   // fault caused by a clear present bit or reserved bit
+	Msg        string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("cpu: fault cause=%d addr=%#x: %s", f.Cause, f.Addr, f.Msg)
+}
+
+func causeFor(class accessClass) uint32 {
+	switch class {
+	case classFetch:
+		return isa.CauseFetchFault
+	case classStore:
+		return isa.CauseStoreFault
+	}
+	return isa.CauseLoadFault
+}
+
+// satpActive reports whether paging is on for the current mode.
+func (c *CPU) satpActive() bool {
+	return c.csr[isa.CSRSatp]&SatpEnable != 0 && c.Priv != isa.PrivMachine
+}
+
+// ASID returns the current address-space identifier from SATP.
+func (c *CPU) ASID() int {
+	return int(c.csr[isa.CSRSatp] >> satpASIDShift & satpASIDMask)
+}
+
+// ptwRead fetches a PTE through the bus, tagged as a page-table-walker
+// access so architecture filters (Sanctum) can vet it. PTE fetches travel
+// through the data cache like on real hardware.
+func (c *CPU) ptwRead(pa uint32) (uint32, error) {
+	a := mem.Access{
+		Addr: pa, Size: 4, Kind: mem.KindLoad, Priv: isa.PrivSuper,
+		World: c.World, Init: mem.Initiator{Type: mem.InitCPU, ID: c.ID},
+		PC: c.PC, Domain: c.Domain, PTW: true,
+	}
+	v, err := c.Bus.Read(a)
+	if err != nil {
+		return 0, err
+	}
+	if c.Hier != nil {
+		r := c.Hier.Data(pa, false, c.Domain)
+		c.Cycles += uint64(r.Latency)
+	}
+	return v, nil
+}
+
+// translate resolves va for the given access class. On success it returns
+// the physical address and the leaf PTE (0 when translation is off).
+func (c *CPU) translate(va uint32, class accessClass) (uint32, uint32, *Fault) {
+	if !c.satpActive() {
+		if c.MPU != nil && c.Priv != isa.PrivMachine {
+			if err := c.MPU.Check(va, class, c.PC, c.Priv); err != nil {
+				return 0, 0, &Fault{Cause: causeFor(class), Addr: va, Msg: err.Error()}
+			}
+		}
+		return va, 0, nil
+	}
+
+	vpn := va / PageSize
+	asid := c.ASID()
+	var leaf uint32
+	if c.TLB != nil {
+		if pte, hit := c.TLB.Lookup(vpn, asid); hit {
+			leaf = pte
+		}
+	}
+	if leaf == 0 {
+		root := (c.csr[isa.CSRSatp] & satpPPNMask) * PageSize
+		l1pa := root + (va>>22)*4
+		l1, err := c.ptwRead(l1pa)
+		if err != nil {
+			return 0, 0, &Fault{Cause: causeFor(class), Addr: va, Msg: "page-table walk: " + err.Error()}
+		}
+		if l1&PTEValid == 0 {
+			return 0, 0, &Fault{Cause: causeFor(class), Addr: va, NotPresent: true, Msg: "level-1 entry not present"}
+		}
+		l0pa := (l1 &^ 0xfff) + (va>>12&0x3ff)*4
+		l0, err := c.ptwRead(l0pa)
+		if err != nil {
+			return 0, 0, &Fault{Cause: causeFor(class), Addr: va, Msg: "page-table walk: " + err.Error()}
+		}
+		leaf = l0
+		if leaf&PTEValid == 0 || leaf&PTEReserved != 0 {
+			// The frame bits of the dead PTE remain architecturally
+			// meaningless but microarchitecturally live (L1TF).
+			return 0, 0, &Fault{Cause: causeFor(class), Addr: va, PTE: leaf, NotPresent: true,
+				Msg: "page not present"}
+		}
+		if c.TLB != nil {
+			c.TLB.Insert(vpn, asid, leaf)
+		}
+	}
+
+	if flt := checkLeafPerms(leaf, class, c.Priv, va); flt != nil {
+		return 0, leaf, flt
+	}
+	return (leaf &^ 0xfff) | va&0xfff, leaf, nil
+}
+
+func checkLeafPerms(leaf uint32, class accessClass, priv isa.Priv, va uint32) *Fault {
+	needed := uint32(PTERead)
+	switch class {
+	case classFetch:
+		needed = PTEExec
+	case classStore:
+		needed = PTEWrite
+	}
+	if leaf&needed == 0 {
+		return &Fault{Cause: causeFor(class), Addr: va, PTE: leaf, Msg: "permission denied by PTE"}
+	}
+	if priv == isa.PrivUser && leaf&PTEUser == 0 {
+		// Supervisor data is mapped but not user-accessible: the classic
+		// Meltdown target. The fault is a *permission* fault on a present
+		// page, so Fault.NotPresent stays false.
+		return &Fault{Cause: causeFor(class), Addr: va, PTE: leaf, Msg: "user access to supervisor page"}
+	}
+	if priv != isa.PrivUser && class == classFetch && leaf&PTEUser != 0 {
+		return &Fault{Cause: causeFor(class), Addr: va, PTE: leaf, Msg: "supervisor fetch from user page"}
+	}
+	return nil
+}
+
+// AddressSpace is an OS-level helper that builds two-level page tables in
+// simulated physical memory. Attack harnesses use SetFlags to tamper with
+// live PTEs (e.g. clearing the present bit for Foreshadow).
+type AddressSpace struct {
+	Mem  *mem.Memory
+	Root uint32
+	ASID int
+
+	nextTable uint32
+	limit     uint32
+}
+
+// NewAddressSpace carves page tables out of [tableBase, tableBase+tableLen)
+// which must be page-aligned RAM.
+func NewAddressSpace(m *mem.Memory, tableBase, tableLen uint32, asid int) (*AddressSpace, error) {
+	if tableBase%PageSize != 0 || tableLen < PageSize {
+		return nil, fmt.Errorf("cpu: page-table arena %#x+%#x not page aligned", tableBase, tableLen)
+	}
+	as := &AddressSpace{
+		Mem: m, Root: tableBase, ASID: asid,
+		nextTable: tableBase + PageSize,
+		limit:     tableBase + tableLen,
+	}
+	return as, nil
+}
+
+func (as *AddressSpace) write32(pa, v uint32) error {
+	return as.Mem.WriteRaw(pa, []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+}
+
+func (as *AddressSpace) read32(pa uint32) (uint32, error) {
+	b := make([]byte, 4)
+	if err := as.Mem.ReadRaw(pa, b); err != nil {
+		return 0, err
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+// Map installs a 4 KiB mapping va -> pa with the given flag bits
+// (PTEValid is implied).
+func (as *AddressSpace) Map(va, pa uint32, flags uint32) error {
+	if va%PageSize != 0 || pa%PageSize != 0 {
+		return fmt.Errorf("cpu: Map(%#x -> %#x): unaligned", va, pa)
+	}
+	l1pa := as.Root + (va>>22)*4
+	l1, err := as.read32(l1pa)
+	if err != nil {
+		return err
+	}
+	if l1&PTEValid == 0 {
+		if as.nextTable >= as.limit {
+			return fmt.Errorf("cpu: page-table arena exhausted")
+		}
+		table := as.nextTable
+		as.nextTable += PageSize
+		if err := as.write32(l1pa, table|PTEValid); err != nil {
+			return err
+		}
+		l1 = table | PTEValid
+	}
+	l0pa := (l1 &^ 0xfff) + (va>>12&0x3ff)*4
+	return as.write32(l0pa, pa&^0xfff|flags|PTEValid)
+}
+
+// MapRange maps n contiguous bytes from va to pa (rounded up to pages).
+func (as *AddressSpace) MapRange(va, pa, n uint32, flags uint32) error {
+	for off := uint32(0); off < n; off += PageSize {
+		if err := as.Map(va+off, pa+off, flags); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MapIdentity maps [base, base+n) to itself.
+func (as *AddressSpace) MapIdentity(base, n uint32, flags uint32) error {
+	return as.MapRange(base, base, n, flags)
+}
+
+// PTEAddr returns the physical address of the leaf PTE for va, for direct
+// tampering by attack harnesses.
+func (as *AddressSpace) PTEAddr(va uint32) (uint32, error) {
+	l1, err := as.read32(as.Root + (va>>22)*4)
+	if err != nil {
+		return 0, err
+	}
+	if l1&PTEValid == 0 {
+		return 0, fmt.Errorf("cpu: va %#x has no level-0 table", va)
+	}
+	return (l1 &^ 0xfff) + (va>>12&0x3ff)*4, nil
+}
+
+// SetFlags ORs set into and clears clear from the leaf PTE of va.
+// Clearing PTEValid models the malicious-OS step of Foreshadow.
+func (as *AddressSpace) SetFlags(va uint32, set, clear uint32) error {
+	pa, err := as.PTEAddr(va)
+	if err != nil {
+		return err
+	}
+	pte, err := as.read32(pa)
+	if err != nil {
+		return err
+	}
+	return as.write32(pa, pte&^clear|set)
+}
+
+// SATP returns the CSR value activating this address space.
+func (as *AddressSpace) SATP() uint32 { return MakeSATP(as.Root, as.ASID) }

@@ -1,0 +1,338 @@
+package cpu
+
+import (
+	"testing"
+
+	"github.com/intrust-sim/intrust/internal/isa"
+	"github.com/intrust-sim/intrust/internal/mem"
+)
+
+// pagedMachine builds a machine with an address space: page tables at
+// 0x100000, and identity-mapped program RAM.
+func pagedMachine(t *testing.T, feat Features) (*CPU, *mem.Memory, *AddressSpace) {
+	t.Helper()
+	c, m := testMachine(t, feat)
+	as, err := NewAddressSpace(m, 0x100000, 0x40000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, m, as
+}
+
+func TestAddressSpaceMapAndTranslate(t *testing.T) {
+	c, m, as := pagedMachine(t, EmbeddedFeatures())
+	// Map VA 0x40000000 -> PA 0x2000.
+	if err := as.Map(0x40000000, 0x2000, PTERead|PTEWrite|PTEUser); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadImage(0x2000, []byte{0xaa, 0xbb, 0xcc, 0xdd}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetCSR(isa.CSRSatp, as.SATP())
+	c.Priv = isa.PrivUser
+	pa, pte, flt := c.translate(0x40000000, classLoad)
+	if flt != nil {
+		t.Fatalf("translate: %v", flt)
+	}
+	if pa != 0x2000 {
+		t.Fatalf("pa = %#x", pa)
+	}
+	if pte&PTEValid == 0 || pte&PTEUser == 0 {
+		t.Fatalf("leaf pte = %#x", pte)
+	}
+	// Offsets preserved.
+	pa, _, flt = c.translate(0x40000abc, classLoad)
+	if flt != nil || pa != 0x2abc {
+		t.Fatalf("offset translate pa=%#x flt=%v", pa, flt)
+	}
+}
+
+func TestTranslatePermissionFaults(t *testing.T) {
+	c, _, as := pagedMachine(t, EmbeddedFeatures())
+	if err := as.Map(0x1000, 0x3000, PTERead); err != nil { // supervisor read-only
+		t.Fatal(err)
+	}
+	if err := as.Map(0x2000, 0x4000, PTERead|PTEWrite|PTEExec|PTEUser); err != nil {
+		t.Fatal(err)
+	}
+	c.SetCSR(isa.CSRSatp, as.SATP())
+
+	c.Priv = isa.PrivUser
+	// User load of supervisor page: permission fault on a PRESENT page —
+	// the Meltdown shape — so NotPresent must be false and the PTE kept.
+	_, _, flt := c.translate(0x1000, classLoad)
+	if flt == nil {
+		t.Fatal("user load of supervisor page allowed")
+	}
+	if flt.NotPresent {
+		t.Error("permission fault misreported as not-present")
+	}
+	if flt.PTE&^uint32(0xfff) != 0x3000 {
+		t.Errorf("fault PTE frame = %#x", flt.PTE)
+	}
+	// Store to read-only page.
+	c.Priv = isa.PrivSuper
+	if _, _, flt := c.translate(0x1000, classStore); flt == nil {
+		t.Error("store to read-only page allowed")
+	}
+	// Fetch from non-executable page.
+	if _, _, flt := c.translate(0x1000, classFetch); flt == nil {
+		t.Error("fetch from non-executable page allowed")
+	}
+	// Supervisor fetch from user page refused (SMEP-style).
+	if _, _, flt := c.translate(0x2000, classFetch); flt == nil {
+		t.Error("supervisor fetch from user page allowed")
+	}
+	// Supervisor load of user page allowed (no SMAP).
+	if _, _, flt := c.translate(0x2000, classLoad); flt != nil {
+		t.Errorf("supervisor load of user page: %v", flt)
+	}
+	// Unmapped VA: not-present fault without PTE frame.
+	_, _, flt = c.translate(0x9000000, classLoad)
+	if flt == nil || !flt.NotPresent {
+		t.Fatalf("unmapped translate flt = %v", flt)
+	}
+}
+
+func TestPresentBitClearPreservesFrame(t *testing.T) {
+	// The L1TF precondition: clearing PTEValid faults, but the fault
+	// carries the stale frame bits.
+	c, _, as := pagedMachine(t, EmbeddedFeatures())
+	if err := as.Map(0x5000, 0x7000, PTERead|PTEUser); err != nil {
+		t.Fatal(err)
+	}
+	c.SetCSR(isa.CSRSatp, as.SATP())
+	c.Priv = isa.PrivUser
+	_, _, flt := c.translate(0x5000, classLoad)
+	if flt != nil {
+		t.Fatalf("pre-clear translate: %v", flt)
+	}
+	if err := as.SetFlags(0x5000, 0, PTEValid); err != nil {
+		t.Fatal(err)
+	}
+	c.TLB.FlushAll() // OS flushes the stale translation
+	_, _, flt = c.translate(0x5000, classLoad)
+	if flt == nil {
+		t.Fatal("cleared present bit did not fault")
+	}
+	if !flt.NotPresent {
+		t.Error("present-bit fault not flagged NotPresent")
+	}
+	if flt.PTE&^uint32(0xfff) != 0x7000 {
+		t.Errorf("dead PTE frame = %#x, want 0x7000", flt.PTE&^uint32(0xfff))
+	}
+	// Reserved-bit variant.
+	if err := as.SetFlags(0x5000, PTEValid|PTEReserved, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.TLB.FlushAll()
+	_, _, flt = c.translate(0x5000, classLoad)
+	if flt == nil || !flt.NotPresent {
+		t.Fatalf("reserved-bit fault = %v", flt)
+	}
+}
+
+func TestTLBCachesTranslations(t *testing.T) {
+	c, _, as := pagedMachine(t, EmbeddedFeatures())
+	if err := as.Map(0x8000, 0x9000, PTERead|PTEUser); err != nil {
+		t.Fatal(err)
+	}
+	c.SetCSR(isa.CSRSatp, as.SATP())
+	c.Priv = isa.PrivUser
+	if _, _, flt := c.translate(0x8000, classLoad); flt != nil {
+		t.Fatal(flt)
+	}
+	missesAfterWalk := c.TLB.Stats.Misses
+	for i := 0; i < 10; i++ {
+		if _, _, flt := c.translate(0x8000, classLoad); flt != nil {
+			t.Fatal(flt)
+		}
+	}
+	if c.TLB.Stats.Misses != missesAfterWalk {
+		t.Error("warm translations missed the TLB")
+	}
+	// A stale TLB entry outlives a PTE change until flushed — the reason
+	// Foreshadow attackers must flush after clearing the present bit.
+	if err := as.SetFlags(0x8000, 0, PTEValid); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, flt := c.translate(0x8000, classLoad); flt != nil {
+		t.Fatal("TLB did not shield stale translation")
+	}
+	c.TLB.FlushPage(0x8, 1)
+	if _, _, flt := c.translate(0x8000, classLoad); flt == nil {
+		t.Fatal("stale translation survived TLB flush")
+	}
+}
+
+func TestASIDSeparation(t *testing.T) {
+	c, m, as1 := pagedMachine(t, EmbeddedFeatures())
+	as2, err := NewAddressSpace(m, 0x180000, 0x40000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as1.Map(0xa000, 0xb000, PTERead|PTEUser); err != nil {
+		t.Fatal(err)
+	}
+	if err := as2.Map(0xa000, 0xc000, PTERead|PTEUser); err != nil {
+		t.Fatal(err)
+	}
+	c.SetCSR(isa.CSRSatp, as1.SATP())
+	c.Priv = isa.PrivUser
+	pa1, _, flt := c.translate(0xa000, classLoad)
+	if flt != nil || pa1 != 0xb000 {
+		t.Fatalf("as1 pa=%#x flt=%v", pa1, flt)
+	}
+	// Switch address space without flushing: ASID tags must keep the
+	// translations separate.
+	c.SetCSR(isa.CSRSatp, as2.SATP())
+	pa2, _, flt := c.translate(0xa000, classLoad)
+	if flt != nil || pa2 != 0xc000 {
+		t.Fatalf("as2 pa=%#x flt=%v (stale cross-ASID TLB hit?)", pa2, flt)
+	}
+}
+
+func TestMachineModeBypassesTranslation(t *testing.T) {
+	c, _, as := pagedMachine(t, EmbeddedFeatures())
+	c.SetCSR(isa.CSRSatp, as.SATP())
+	c.Priv = isa.PrivMachine
+	pa, _, flt := c.translate(0x2000, classLoad)
+	if flt != nil || pa != 0x2000 {
+		t.Fatalf("machine-mode translate pa=%#x flt=%v", pa, flt)
+	}
+}
+
+func TestPagedProgramExecution(t *testing.T) {
+	// End-to-end: user program running under translation.
+	c, m, as := pagedMachine(t, EmbeddedFeatures())
+	prog := isa.MustAssemble(`
+        .org 0x1000
+        li  t0, 0x2000
+        li  t1, 0x1234
+        sw  t1, 0(t0)
+        lw  a0, 0(t0)
+        hlt
+`)
+	if err := m.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	// Identity-map code (U+X+R) and data (U+R+W).
+	if err := as.Map(0x1000, 0x1000, PTERead|PTEExec|PTEUser); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Map(0x2000, 0x2000, PTERead|PTEWrite|PTEUser); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset(0x1000)
+	c.SetCSR(isa.CSRSatp, as.SATP())
+	c.Priv = isa.PrivUser
+	if _, err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[isa.RegA0] != 0x1234 {
+		t.Errorf("paged execution a0 = %#x", c.Regs[isa.RegA0])
+	}
+}
+
+func TestMPURegions(t *testing.T) {
+	mpu := &MPU{DefaultAllow: true}
+	if err := mpu.AddRegion(MPURegion{
+		Name: "secret", Base: 0x5000, Size: 0x1000, R: true, W: true,
+		CodeBase: 0x1000, CodeSize: 0x100,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mpu.AddRegion(MPURegion{
+		Name: "code", Base: 0x1000, Size: 0x1000, R: true, X: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Owner code may access its data region.
+	if err := mpu.Check(0x5000, classLoad, 0x1050, isa.PrivUser); err != nil {
+		t.Errorf("owner access denied: %v", err)
+	}
+	// Foreign code may not (EA-MPU execution-awareness).
+	if err := mpu.Check(0x5000, classLoad, 0x2000, isa.PrivUser); err == nil {
+		t.Error("foreign access to EA region allowed")
+	}
+	// Execute permissions enforced.
+	if err := mpu.Check(0x5000, classFetch, 0x5000, isa.PrivUser); err == nil {
+		t.Error("fetch from non-X region allowed")
+	}
+	if err := mpu.Check(0x1000, classFetch, 0x1000, isa.PrivUser); err != nil {
+		t.Errorf("fetch from code region denied: %v", err)
+	}
+	// Store to non-W region.
+	if err := mpu.Check(0x1000, classStore, 0x1000, isa.PrivUser); err == nil {
+		t.Error("store to read-only region allowed")
+	}
+	// Default-allow outside regions.
+	if err := mpu.Check(0x9000, classStore, 0x9000, isa.PrivUser); err != nil {
+		t.Errorf("default region denied: %v", err)
+	}
+	// Lock freezes configuration.
+	mpu.Lock()
+	if err := mpu.AddRegion(MPURegion{Name: "late"}); err == nil {
+		t.Error("region added after lock")
+	}
+}
+
+func TestMPUPrivOnlyAndDefaultDeny(t *testing.T) {
+	mpu := &MPU{}
+	if err := mpu.AddRegion(MPURegion{Name: "krn", Base: 0, Size: 0x1000, R: true, W: true, X: true, PrivOnly: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mpu.Check(0x10, classLoad, 0x10, isa.PrivUser); err == nil {
+		t.Error("user access to priv-only region allowed")
+	}
+	if err := mpu.Check(0x10, classLoad, 0x10, isa.PrivSuper); err != nil {
+		t.Errorf("supervisor access denied: %v", err)
+	}
+	if err := mpu.Check(0x8000, classLoad, 0, isa.PrivSuper); err == nil {
+		t.Error("default-deny MPU allowed uncovered address")
+	}
+}
+
+func TestMPUGuardsExecution(t *testing.T) {
+	// An in-ISA TrustLite-style check: a thief routine reading a
+	// trustlet's data faults, the owner succeeds.
+	c, m := testMachine(t, EmbeddedFeatures())
+	c.MPU = &MPU{DefaultAllow: true}
+	if err := c.MPU.AddRegion(MPURegion{
+		Name: "tl-data", Base: 0x6000, Size: 0x1000, R: true, W: true,
+		CodeBase: 0x2000, CodeSize: 0x100,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := isa.MustAssemble(`
+        .org 0x1000
+        li   t0, 0x300
+        csrw tvec, t0
+        li   t0, 0x6000
+        call owner
+        lw   a1, 0(t0)      ; thief: faults -> trap -> a1 stays 0
+        hlt
+        .org 0x300
+trap:   hlt
+        .org 0x2000
+owner:  lw   a0, 0(t0)      ; owner reads fine
+        ret
+`)
+	if err := m.LoadProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadImage(0x6000, []byte{0x99, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset(0x1000)
+	c.Priv = isa.PrivSuper // MPU applies below machine mode
+	if _, err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[isa.RegA0] != 0x99 {
+		t.Errorf("owner read failed: a0 = %#x", c.Regs[isa.RegA0])
+	}
+	if c.Regs[isa.RegA1] != 0 {
+		t.Errorf("thief read trustlet data: a1 = %#x", c.Regs[isa.RegA1])
+	}
+}

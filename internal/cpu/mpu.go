@@ -1,0 +1,101 @@
+package cpu
+
+import (
+	"fmt"
+
+	"github.com/intrust-sim/intrust/internal/isa"
+)
+
+// MPURegion is one memory protection unit entry. Embedded platforms use
+// the MPU instead of an MMU ("instead of integrating fully-fledged MMUs,
+// these systems use primitive access controllers").
+//
+// When CodeSize is non-zero the region is execution-aware (TrustLite's
+// EA-MPU): data accesses are permitted only while the program counter lies
+// inside [CodeBase, CodeBase+CodeSize). This binds a Trustlet's data to
+// its code.
+type MPURegion struct {
+	Name       string
+	Base, Size uint32
+	R, W, X    bool
+	PrivOnly   bool // accessible only above user privilege
+	CodeBase   uint32
+	CodeSize   uint32
+}
+
+// Contains reports whether addr is inside the region.
+func (r MPURegion) Contains(addr uint32) bool {
+	return addr >= r.Base && addr-r.Base < r.Size
+}
+
+func (r MPURegion) ownerExecuting(pc uint32) bool {
+	return pc >= r.CodeBase && pc-r.CodeBase < r.CodeSize
+}
+
+// MPU is a primitive access controller with a fixed set of regions and a
+// lock bit. TrustLite's Secure Loader configures the regions and then
+// locks the unit, making protection static for the rest of the boot cycle.
+type MPU struct {
+	Regions []MPURegion
+	// Locked freezes configuration (TrustLite: "EA-MPU configuration is
+	// locked, thus protection regions are static").
+	Locked bool
+	// DefaultAllow permits accesses that match no region. Embedded
+	// platforms typically allow open access outside protected regions.
+	DefaultAllow bool
+}
+
+// AddRegion appends a region; it fails once the MPU is locked.
+func (m *MPU) AddRegion(r MPURegion) error {
+	if m.Locked {
+		return fmt.Errorf("cpu: MPU locked, cannot add region %q", r.Name)
+	}
+	m.Regions = append(m.Regions, r)
+	return nil
+}
+
+// Lock freezes the configuration.
+func (m *MPU) Lock() { m.Locked = true }
+
+// Check validates an access at pc with the given privilege. It returns nil
+// when permitted.
+func (m *MPU) Check(addr uint32, kind accessClass, pc uint32, priv isa.Priv) error {
+	for _, r := range m.Regions {
+		if !r.Contains(addr) {
+			continue
+		}
+		if r.PrivOnly && priv == isa.PrivUser {
+			return fmt.Errorf("cpu: MPU region %q requires privilege", r.Name)
+		}
+		switch kind {
+		case classFetch:
+			if !r.X {
+				return fmt.Errorf("cpu: MPU region %q not executable", r.Name)
+			}
+		case classLoad:
+			if !r.R {
+				return fmt.Errorf("cpu: MPU region %q not readable", r.Name)
+			}
+		case classStore:
+			if !r.W {
+				return fmt.Errorf("cpu: MPU region %q not writable", r.Name)
+			}
+		}
+		if kind != classFetch && r.CodeSize != 0 && !r.ownerExecuting(pc) {
+			return fmt.Errorf("cpu: EA-MPU region %q accessible only from its owner code (pc=%#x)", r.Name, pc)
+		}
+		return nil
+	}
+	if m.DefaultAllow {
+		return nil
+	}
+	return fmt.Errorf("cpu: MPU: no region covers %#x", addr)
+}
+
+type accessClass uint8
+
+const (
+	classFetch accessClass = iota
+	classLoad
+	classStore
+)

@@ -1,0 +1,150 @@
+package cpu
+
+// Predictor models the branch prediction unit: a gshare pattern history
+// table for conditional branches, a branch target buffer for indirect
+// jumps, and a return stack buffer for returns.
+//
+// Deliberate (in)security properties reproduced from the paper:
+//
+//   - The BTB is indexed and tagged by virtual address only, with no
+//     address-space identifier. Two processes whose branches share a
+//     virtual address share BTB entries, which is precisely what enables
+//     cross-address-space mistraining in Spectre variant 2 ("branch
+//     prediction buffers are indexed using virtual addresses of the
+//     branch instructions, allowing mistraining not only from the same
+//     address space, but also from different processes").
+//   - The RSB is shared state with a fixed depth; underflow and stale
+//     entries after a context switch enable ret2spec-style attacks.
+//
+// Flush() models the predictor-isolation mitigation (IBPB-like barrier on
+// context switch).
+type Predictor struct {
+	phtSize int
+	pht     []uint8 // 2-bit saturating counters
+	ghist   uint32
+
+	btbSize int
+	btbTag  []uint32
+	btbTgt  []uint32
+	btbOk   []bool
+
+	rsb   []uint32
+	rsbSP int
+
+	// Stats
+	BranchPredicts uint64
+	BranchMiss     uint64
+	TargetPredicts uint64
+	TargetMiss     uint64
+}
+
+// NewPredictor creates a predictor with the given PHT/BTB sizes (powers of
+// two) and RSB depth.
+func NewPredictor(phtSize, btbSize, rsbDepth int) *Predictor {
+	if phtSize <= 0 || phtSize&(phtSize-1) != 0 || btbSize <= 0 || btbSize&(btbSize-1) != 0 {
+		panic("cpu: predictor table sizes must be powers of two")
+	}
+	p := &Predictor{
+		phtSize: phtSize,
+		pht:     make([]uint8, phtSize),
+		btbSize: btbSize,
+		btbTag:  make([]uint32, btbSize),
+		btbTgt:  make([]uint32, btbSize),
+		btbOk:   make([]bool, btbSize),
+		rsb:     make([]uint32, rsbDepth),
+	}
+	for i := range p.pht {
+		p.pht[i] = 1 // weakly not-taken
+	}
+	return p
+}
+
+func (p *Predictor) phtIndex(pc uint32) int {
+	return int((pc>>2 ^ p.ghist) & uint32(p.phtSize-1))
+}
+
+// PredictBranch returns the predicted direction for the branch at pc.
+func (p *Predictor) PredictBranch(pc uint32) bool {
+	p.BranchPredicts++
+	return p.pht[p.phtIndex(pc)] >= 2
+}
+
+// UpdateBranch trains the PHT and global history with the actual outcome.
+func (p *Predictor) UpdateBranch(pc uint32, taken bool) {
+	idx := p.phtIndex(pc)
+	if taken {
+		if p.pht[idx] < 3 {
+			p.pht[idx]++
+		}
+	} else if p.pht[idx] > 0 {
+		p.pht[idx]--
+	}
+	p.ghist = p.ghist<<1 | b2u(taken)
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (p *Predictor) btbIndex(pc uint32) int { return int((pc >> 2) & uint32(p.btbSize-1)) }
+
+// PredictTarget returns the BTB's predicted target for the indirect branch
+// at pc, if one is cached.
+func (p *Predictor) PredictTarget(pc uint32) (uint32, bool) {
+	p.TargetPredicts++
+	i := p.btbIndex(pc)
+	if p.btbOk[i] && p.btbTag[i] == pc {
+		return p.btbTgt[i], true
+	}
+	return 0, false
+}
+
+// UpdateTarget records the actual target of the indirect branch at pc.
+func (p *Predictor) UpdateTarget(pc, target uint32) {
+	i := p.btbIndex(pc)
+	p.btbTag[i] = pc
+	p.btbTgt[i] = target
+	p.btbOk[i] = true
+}
+
+// PushReturn records a call's return address on the RSB.
+func (p *Predictor) PushReturn(addr uint32) {
+	p.rsb[p.rsbSP%len(p.rsb)] = addr
+	p.rsbSP++
+}
+
+// PopReturn predicts the target of a return. ok is false when the RSB has
+// underflowed (no prediction).
+func (p *Predictor) PopReturn() (uint32, bool) {
+	if p.rsbSP == 0 {
+		return 0, false
+	}
+	p.rsbSP--
+	return p.rsb[p.rsbSP%len(p.rsb)], true
+}
+
+// RSBDepth returns the number of live RSB entries (capped at capacity).
+func (p *Predictor) RSBDepth() int {
+	if p.rsbSP > len(p.rsb) {
+		return len(p.rsb)
+	}
+	return p.rsbSP
+}
+
+// Flush clears all prediction state: the predictor-isolation mitigation.
+func (p *Predictor) Flush() {
+	for i := range p.pht {
+		p.pht[i] = 1
+	}
+	p.ghist = 0
+	for i := range p.btbOk {
+		p.btbOk[i] = false
+	}
+	p.rsbSP = 0
+	for i := range p.rsb {
+		p.rsb[i] = 0
+	}
+}

@@ -1,0 +1,160 @@
+package cpu
+
+import "testing"
+
+func TestPHTTrainsTowardTaken(t *testing.T) {
+	p := NewPredictor(256, 64, 8)
+	pc := uint32(0x1000)
+	if p.PredictBranch(pc) {
+		t.Fatal("initial prediction should be not-taken")
+	}
+	for i := 0; i < 4; i++ {
+		p.UpdateBranch(pc, true)
+	}
+	// Note: ghist changes move the PHT index, so re-train at the live
+	// index until saturation.
+	taken := 0
+	for i := 0; i < 16; i++ {
+		if p.PredictBranch(pc) {
+			taken++
+		}
+		p.UpdateBranch(pc, true)
+	}
+	if taken < 10 {
+		t.Errorf("trained predictor predicted taken only %d/16 times", taken)
+	}
+}
+
+func TestBTBStoresAndAliases(t *testing.T) {
+	p := NewPredictor(256, 64, 8)
+	if _, ok := p.PredictTarget(0x1000); ok {
+		t.Fatal("cold BTB predicted")
+	}
+	p.UpdateTarget(0x1000, 0x3000)
+	tgt, ok := p.PredictTarget(0x1000)
+	if !ok || tgt != 0x3000 {
+		t.Fatalf("BTB = %#x, %v", tgt, ok)
+	}
+	// Same virtual address from "another process" reads the same entry —
+	// the cross-address-space mistraining property.
+	tgt, ok = p.PredictTarget(0x1000)
+	if !ok || tgt != 0x3000 {
+		t.Fatal("BTB entry not shared by virtual address")
+	}
+}
+
+func TestRSBLIFOAndUnderflow(t *testing.T) {
+	p := NewPredictor(256, 64, 4)
+	p.PushReturn(0x100)
+	p.PushReturn(0x200)
+	if a, ok := p.PopReturn(); !ok || a != 0x200 {
+		t.Fatalf("pop1 = %#x, %v", a, ok)
+	}
+	if a, ok := p.PopReturn(); !ok || a != 0x100 {
+		t.Fatalf("pop2 = %#x, %v", a, ok)
+	}
+	if _, ok := p.PopReturn(); ok {
+		t.Fatal("underflow returned a prediction")
+	}
+	// Wrap-around overwrites oldest entries.
+	for i := 0; i < 6; i++ {
+		p.PushReturn(uint32(i))
+	}
+	if p.RSBDepth() != 4 {
+		t.Errorf("depth = %d", p.RSBDepth())
+	}
+}
+
+func TestPredictorFlushClearsEverything(t *testing.T) {
+	p := NewPredictor(256, 64, 8)
+	for i := 0; i < 8; i++ {
+		p.UpdateBranch(0x40, true)
+	}
+	p.UpdateTarget(0x80, 0x9000)
+	p.PushReturn(0x123)
+	p.Flush()
+	if p.PredictBranch(0x40) {
+		t.Error("PHT survived flush")
+	}
+	if _, ok := p.PredictTarget(0x80); ok {
+		t.Error("BTB survived flush")
+	}
+	if _, ok := p.PopReturn(); ok {
+		t.Error("RSB survived flush")
+	}
+}
+
+func TestPredictorSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad predictor size accepted")
+		}
+	}()
+	NewPredictor(100, 64, 8)
+}
+
+func TestDVFSMarginAndFaultProbability(t *testing.T) {
+	d := DefaultDVFS()
+	if d.FaultProb() != 0 {
+		t.Fatalf("nominal point faults: p=%v", d.FaultProb())
+	}
+	if d.MarginMHz() != 0 {
+		t.Fatalf("nominal margin = %d", d.MarginMHz())
+	}
+	// Undervolting reduces the safe frequency (the CLKSCREW lever).
+	d.VoltMV = 800
+	if d.MaxSafeFreqMHz(800) >= d.BaseFreqMHz {
+		t.Error("undervolting did not reduce safe frequency")
+	}
+	if d.FaultProb() <= 0 {
+		t.Error("beyond-margin point does not fault")
+	}
+	// Overclocking at nominal voltage.
+	d = DefaultDVFS()
+	d.FreqMHz = d.BaseFreqMHz + 100
+	p100 := d.FaultProb()
+	d.FreqMHz = d.BaseFreqMHz + 200
+	p200 := d.FaultProb()
+	if !(p200 > p100 && p100 > 0) {
+		t.Errorf("fault probability not monotonic: %v, %v", p100, p200)
+	}
+	// Cap respected.
+	d.FreqMHz = 100000
+	if d.FaultProb() > d.MaxFaultProb {
+		t.Error("fault probability exceeds cap")
+	}
+}
+
+func TestDVFSFaultInjectionEndToEnd(t *testing.T) {
+	// A kernel (supervisor) program overclocks the core via the FREQ CSR —
+	// exactly CLKSCREW's software lever — and subsequent computation gets
+	// corrupted.
+	c, m := testMachine(t, EmbeddedFeatures())
+	loadAndRun(t, c, m, `
+        li   t0, 2400          ; 2x the safe frequency
+        csrw freq, t0
+        li   a0, 0
+        li   t1, 2000
+loop:   addi a0, a0, 1
+        bne  a0, t1, loop
+        hlt
+`, 20000)
+	if c.FaultsInjected == 0 {
+		t.Fatal("no faults injected beyond DVFS margin")
+	}
+	// At nominal frequency the same loop is fault-free.
+	c2, m2 := testMachine(t, EmbeddedFeatures())
+	loadAndRun(t, c2, m2, `
+        li   a0, 0
+        li   t1, 2000
+loop:   addi a0, a0, 1
+        bne  a0, t1, loop
+        hlt
+`, 20000)
+	if c2.FaultsInjected != 0 {
+		t.Fatal("faults at nominal operating point")
+	}
+	if c2.Regs[9] != 2000 { // a0
+		t.Errorf("nominal loop result corrupted: %d", c2.Regs[9])
+	}
+}

@@ -1,0 +1,201 @@
+package cpu
+
+import (
+	"github.com/intrust-sim/intrust/internal/isa"
+	"github.com/intrust-sim/intrust/internal/mem"
+)
+
+// This file implements the transient-execution engine: bounded wrong-path
+// execution whose architectural effects are squashed but whose
+// microarchitectural effects — cache fills, TLB fills — persist. That
+// asymmetry is the root cause of the Section 4.2 attacks:
+//
+//   - Spectre: a mispredicted branch opens a window executing the wrong
+//     path (runTransient from exec's branch/JALR cases).
+//   - Meltdown: a faulting load forwards its protected data to dependent
+//     instructions for the window between access and exception retirement
+//     (meltdownWindow).
+//   - Foreshadow/L1TF: the same window, but the load faulted on a clear
+//     present bit, and the forwarded value comes from L1 using the frame
+//     bits of the dead PTE — after MEE decryption, which is why SGX's
+//     memory encryption does not help.
+
+// archSnapshot is the architectural state restored on squash.
+type archSnapshot struct {
+	regs [isa.NumRegs]uint32
+	pc   uint32
+}
+
+// runTransient speculatively executes from startPC until the window
+// closes, then squashes. seed, if non-nil, runs first (it injects
+// forwarded values into the shadow register file).
+func (c *CPU) runTransient(startPC uint32, seed func(*CPU)) {
+	if !c.Feat.Speculation || c.Feat.SpecWindow <= 0 || c.inTransient {
+		return
+	}
+	c.inTransient = true
+	saved := archSnapshot{regs: c.Regs, pc: c.PC}
+	c.PC = startPC
+	if seed != nil {
+		seed(c)
+	}
+	for i := 0; i < c.Feat.SpecWindow; i++ {
+		if !c.stepTransient() {
+			break
+		}
+		c.TransientExecuted++
+	}
+	c.Regs = saved.regs
+	c.PC = saved.pc
+	c.inTransient = false
+}
+
+// stepTransient executes one wrong-path instruction. It returns false when
+// the window must close (fault, serializing instruction, fence).
+func (c *CPU) stepTransient() bool {
+	pa, _, flt := c.translate(c.PC, classFetch)
+	if flt != nil {
+		return false
+	}
+	word, err := c.Bus.Read(c.busAccess(pa, 4, mem.KindFetch))
+	if err != nil {
+		return false
+	}
+	if c.Hier != nil {
+		// Wrong-path fetches fill the instruction cache: the channel
+		// branch-shadowing style attacks observe.
+		c.Hier.Fetch(pa, c.Domain)
+	}
+	in := isa.Decode(word)
+	pc := c.PC
+	seq := pc + 4
+	switch in.Op {
+	case isa.OpADD, isa.OpSUB, isa.OpAND, isa.OpOR, isa.OpXOR,
+		isa.OpSLL, isa.OpSRL, isa.OpSRA, isa.OpSLT, isa.OpSLTU:
+		c.setRegRaw(in.Rd, aluOp(in.Op, c.reg(in.Rs1), c.reg(in.Rs2)))
+	case isa.OpMUL:
+		c.setRegRaw(in.Rd, c.reg(in.Rs1)*c.reg(in.Rs2))
+	case isa.OpADDI, isa.OpANDI, isa.OpORI, isa.OpXORI, isa.OpSLLI, isa.OpSRLI, isa.OpSLTI:
+		c.setRegRaw(in.Rd, aluImmOp(in.Op, c.reg(in.Rs1), in.Imm))
+	case isa.OpLUI:
+		c.setRegRaw(in.Rd, uint32(in.Imm<<10))
+
+	case isa.OpLW, isa.OpLB, isa.OpLBU:
+		va := c.reg(in.Rs1) + uint32(in.Imm)
+		size := 4
+		if in.Op != isa.OpLW {
+			size = 1
+		}
+		tpa, _, tflt := c.translate(va, classLoad)
+		if tflt != nil {
+			// Faults inside an already-transient path close the window;
+			// there is no nested forwarding.
+			return false
+		}
+		v, err := c.Bus.Read(c.busAccess(tpa, size, mem.KindLoad))
+		if err != nil {
+			return false
+		}
+		if c.Hier != nil {
+			// THE side effect: a transient load fills the cache and the
+			// fill survives the squash.
+			c.Hier.Data(tpa, false, c.Domain)
+		}
+		if in.Op == isa.OpLB && v&0x80 != 0 {
+			v |= 0xffffff00
+		}
+		c.setRegRaw(in.Rd, v)
+
+	case isa.OpSW, isa.OpSB:
+		// Stores never commit speculatively; they also do not fill the
+		// cache (no write-allocate before retirement).
+
+	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
+		// Within the window, branches resolve immediately (no nested
+		// speculation).
+		if branchTaken(in.Op, c.reg(in.Rs1), c.reg(in.Rs2)) {
+			c.PC = pc + uint32(in.Imm)*4
+			return true
+		}
+	case isa.OpJAL:
+		c.setRegRaw(in.Rd, seq)
+		c.PC = pc + uint32(in.Imm)*4
+		return true
+	case isa.OpJALR:
+		t := (c.reg(in.Rs1) + uint32(in.Imm)) &^ 3
+		c.setRegRaw(in.Rd, seq)
+		c.PC = t
+		return true
+
+	case isa.OpCSRR:
+		n := int(in.Imm)
+		if !c.csrAllowed(n, false) {
+			return false
+		}
+		c.setRegRaw(in.Rd, c.CSR(n))
+
+	case isa.OpFENCE:
+		// FENCE is the Spectre mitigation: it drains the window.
+		return false
+	default:
+		// ECALL, ERET, SMC, CSRW, CLFLUSH, HLT, WFI and invalid opcodes
+		// serialize the pipeline and close the window.
+		return false
+	}
+	c.PC = seq
+	return true
+}
+
+// meltdownWindow opens the fault-forwarding transient window after an
+// architectural load fault, before the trap is delivered.
+//
+// Forwarding rules (per CPU feature flags):
+//
+//   - Permission fault on a *present* page (classic Meltdown): forward the
+//     data at the translated physical address if FaultForwarding is on.
+//   - Present-bit/reserved-bit fault (L1 terminal fault, Foreshadow):
+//     translation aborted, but the frame bits of the dead PTE are used to
+//     match the L1 cache. Forward only if L1TFForwarding is on AND the
+//     line is currently in L1. The forwarded bytes are the L1 contents —
+//     i.e. post-MEE plaintext, which is how Foreshadow defeats SGX's
+//     memory encryption.
+//
+// SGX's abort-page semantics are immune to this path entirely: reads of
+// enclave memory from outside do not fault (the EPCM filter returns the
+// abort value), so no window ever opens — matching the paper's "SGX is
+// immune to a plain Meltdown attack as enclave memory usually does not
+// raise memory access exceptions".
+func (c *CPU) meltdownWindow(flt *Fault, in isa.Instruction, nextPC uint32) {
+	if !c.Feat.Speculation || c.inTransient {
+		return
+	}
+	size := 4
+	if in.Op != isa.OpLW {
+		size = 1
+	}
+	var fwd uint32
+	var ok bool
+	if flt.NotPresent {
+		if c.Feat.L1TFForwarding && flt.PTE&^uint32(0xfff) != 0 {
+			pa := flt.PTE&^uint32(0xfff) | flt.Addr&0xfff
+			if c.Hier != nil && c.Hier.InL1(pa, c.Domain) {
+				if v, err := c.Bus.ReadL1Content(pa, size); err == nil {
+					fwd, ok = v, true
+				}
+			}
+		}
+	} else if c.Feat.FaultForwarding {
+		pa := flt.PTE&^uint32(0xfff) | flt.Addr&0xfff
+		if v, err := c.Bus.ReadL1Content(pa, size); err == nil {
+			fwd, ok = v, true
+		}
+	}
+	if !ok {
+		return
+	}
+	if in.Op == isa.OpLB && fwd&0x80 != 0 {
+		fwd |= 0xffffff00
+	}
+	rd := in.Rd
+	c.runTransient(nextPC, func(c *CPU) { c.setRegRaw(rd, fwd) })
+}

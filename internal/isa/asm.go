@@ -1,0 +1,843 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Program is the output of the assembler: one or more contiguous memory
+// segments plus the resolved symbol table.
+type Program struct {
+	Entry    uint32            // address of the first instruction (or .org base)
+	Segments []Segment         // sorted by base address
+	Symbols  map[string]uint32 // label -> address
+}
+
+// Segment is a contiguous byte image placed at Base.
+type Segment struct {
+	Base uint32
+	Data []byte
+}
+
+// Size returns the total number of bytes across all segments.
+func (p *Program) Size() int {
+	n := 0
+	for _, s := range p.Segments {
+		n += len(s.Data)
+	}
+	return n
+}
+
+// Symbol returns the address of a label, or panics if it is undefined.
+// It is intended for tests and example harnesses where a missing label is a
+// programming error.
+func (p *Program) Symbol(name string) uint32 {
+	a, ok := p.Symbols[name]
+	if !ok {
+		panic(fmt.Sprintf("isa: undefined symbol %q", name))
+	}
+	return a
+}
+
+// csrNames maps symbolic CSR operand names to CSR numbers.
+var csrNames = map[string]int32{
+	"cycle": CSRCycle, "instret": CSRInstret, "status": CSRStatus,
+	"tvec": CSRTvec, "epc": CSREpc, "cause": CSRCause, "tval": CSRTval,
+	"scratch": CSRScratch, "satp": CSRSatp, "freq": CSRFreq, "volt": CSRVolt,
+	"key0": CSRKey0, "key1": CSRKey1, "key2": CSRKey2, "key3": CSRKey3,
+	"world": CSRWorld,
+}
+
+type asmError struct {
+	line int
+	msg  string
+}
+
+func (e asmError) Error() string { return fmt.Sprintf("asm: line %d: %s", e.line, e.msg) }
+
+// fragment is an intermediate item produced during pass 1.
+type fragment struct {
+	line  int
+	addr  uint32
+	mnem  string   // instruction mnemonic, or "" for data
+	args  []string // raw operand strings
+	data  []byte   // literal data for directives
+	words int      // size in bytes this fragment occupies
+}
+
+// Assemble translates HS-32 assembly source into a Program.
+//
+// Syntax summary:
+//
+//	label:  mnemonic op1, op2, ...   ; comment (also # and //)
+//	        .org  0x1000             ; set current placement address
+//	        .word 1, 2, sym          ; emit 32-bit little-endian words
+//	        .byte 1, 2, 3            ; emit bytes
+//	        .space 64                ; emit zero bytes
+//	        .equ  name, expr         ; define a constant
+//
+// Pseudo-instructions: li, la, mv, nop, not, j, call, ret, rdcycle,
+// bgt, ble, bgtu, bleu. li/la always occupy two instruction slots.
+// Branch and jal targets may be labels or absolute expressions; the
+// assembler converts them to word-relative offsets.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{
+		symbols: map[string]uint32{},
+		consts:  map[string]int32{},
+	}
+	if err := a.pass1(src); err != nil {
+		return nil, err
+	}
+	if err := a.pass2(); err != nil {
+		return nil, err
+	}
+	return a.finish(), nil
+}
+
+// MustAssemble is Assemble that panics on error, for tests and fixed
+// built-in programs (ROM routines, probe gadgets) whose sources are
+// compile-time constants.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type assembler struct {
+	frags   []fragment
+	symbols map[string]uint32
+	consts  map[string]int32
+	segs    map[uint32][]byte // base -> bytes, built in pass 2
+	order   []uint32
+	entry   uint32
+	haveOrg bool
+}
+
+func stripComment(line string) string {
+	for _, sep := range []string{";", "#", "//"} {
+		if i := strings.Index(line, sep); i >= 0 {
+			line = line[:i]
+		}
+	}
+	return strings.TrimSpace(line)
+}
+
+func splitArgs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// instrSlots returns how many 4-byte instruction slots a mnemonic occupies.
+func instrSlots(mnem string) int {
+	switch mnem {
+	case "li", "la":
+		return 2
+	}
+	return 1
+}
+
+func (a *assembler) pass1(src string) error {
+	addr := uint32(0)
+	for ln, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly several on one line).
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if label == "" || strings.ContainsAny(label, " \t") {
+				break // not a label, e.g. inside an operand
+			}
+			if _, dup := a.symbols[label]; dup {
+				return asmError{ln + 1, fmt.Sprintf("duplicate label %q", label)}
+			}
+			a.symbols[label] = addr
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 2)
+		mnem := strings.ToLower(strings.TrimSpace(fields[0]))
+		rest := ""
+		if len(fields) == 2 {
+			rest = strings.TrimSpace(fields[1])
+		}
+		args := splitArgs(rest)
+		switch mnem {
+		case ".org":
+			if len(args) != 1 {
+				return asmError{ln + 1, ".org needs one operand"}
+			}
+			v, err := a.evalConst(args[0], ln+1)
+			if err != nil {
+				return err
+			}
+			addr = uint32(v)
+			if !a.haveOrg {
+				a.entry = addr
+				a.haveOrg = true
+			}
+		case ".equ":
+			if len(args) != 2 {
+				return asmError{ln + 1, ".equ needs name, value"}
+			}
+			v, err := a.evalConst(args[1], ln+1)
+			if err != nil {
+				return err
+			}
+			a.consts[args[0]] = v
+		case ".word":
+			a.frags = append(a.frags, fragment{line: ln + 1, addr: addr, mnem: ".word", args: args, words: 4 * len(args)})
+			addr += uint32(4 * len(args))
+		case ".byte":
+			a.frags = append(a.frags, fragment{line: ln + 1, addr: addr, mnem: ".byte", args: args, words: len(args)})
+			addr += uint32(len(args))
+		case ".space":
+			if len(args) != 1 {
+				return asmError{ln + 1, ".space needs a size"}
+			}
+			v, err := a.evalConst(args[0], ln+1)
+			if err != nil {
+				return err
+			}
+			if v < 0 {
+				return asmError{ln + 1, "negative .space"}
+			}
+			a.frags = append(a.frags, fragment{line: ln + 1, addr: addr, mnem: ".space", data: make([]byte, v), words: int(v)})
+			addr += uint32(v)
+		case ".align":
+			if len(args) != 1 {
+				return asmError{ln + 1, ".align needs an alignment"}
+			}
+			v, err := a.evalConst(args[0], ln+1)
+			if err != nil {
+				return err
+			}
+			if v <= 0 || v&(v-1) != 0 {
+				return asmError{ln + 1, "alignment must be a power of two"}
+			}
+			pad := (uint32(v) - addr%uint32(v)) % uint32(v)
+			if pad > 0 {
+				a.frags = append(a.frags, fragment{line: ln + 1, addr: addr, mnem: ".space", data: make([]byte, pad), words: int(pad)})
+				addr += pad
+			}
+		default:
+			n := instrSlots(mnem)
+			a.frags = append(a.frags, fragment{line: ln + 1, addr: addr, mnem: mnem, args: args, words: 4 * n})
+			addr += uint32(4 * n)
+		}
+	}
+	return nil
+}
+
+// evalConst evaluates an expression that may not reference labels
+// (used by directives processed during pass 1).
+func (a *assembler) evalConst(expr string, line int) (int32, error) {
+	v, err := a.eval(expr, true)
+	if err != nil {
+		return 0, asmError{line, err.Error()}
+	}
+	return v, nil
+}
+
+// eval evaluates "term((+|-)term)*" where term is a decimal/hex number, a
+// character literal, an .equ constant or (unless constOnly) a label.
+func (a *assembler) eval(expr string, constOnly bool) (int32, error) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return 0, fmt.Errorf("empty expression")
+	}
+	total := int64(0)
+	sign := int64(1)
+	i := 0
+	first := true
+	for i < len(expr) {
+		c := expr[i]
+		switch {
+		case c == '+':
+			sign = 1
+			i++
+			continue
+		case c == '-':
+			sign = -sign
+			i++
+			continue
+		case c == ' ' || c == '\t':
+			i++
+			continue
+		}
+		j := i
+		for j < len(expr) && expr[j] != '+' && expr[j] != '-' && expr[j] != ' ' {
+			j++
+		}
+		tok := expr[i:j]
+		v, err := a.term(tok, constOnly)
+		if err != nil {
+			return 0, err
+		}
+		total += sign * int64(v)
+		sign = 1
+		i = j
+		first = false
+	}
+	if first {
+		return 0, fmt.Errorf("malformed expression %q", expr)
+	}
+	return int32(total), nil
+}
+
+func (a *assembler) term(tok string, constOnly bool) (int32, error) {
+	if v, ok := a.consts[tok]; ok {
+		return v, nil
+	}
+	if len(tok) == 3 && tok[0] == '\'' && tok[2] == '\'' {
+		return int32(tok[1]), nil
+	}
+	if v, err := strconv.ParseInt(tok, 0, 64); err == nil {
+		return int32(v), nil
+	}
+	// Allow full-range unsigned literals like 0xdeadbeef.
+	if v, err := strconv.ParseUint(tok, 0, 32); err == nil {
+		return int32(uint32(v)), nil
+	}
+	if !constOnly {
+		if v, ok := a.symbols[tok]; ok {
+			return int32(v), nil
+		}
+	}
+	return 0, fmt.Errorf("undefined symbol %q", tok)
+}
+
+func (a *assembler) reg(tok string, line int) (uint8, error) {
+	r, ok := RegByName(strings.TrimSpace(tok))
+	if !ok {
+		return 0, asmError{line, fmt.Sprintf("unknown register %q", tok)}
+	}
+	return r, nil
+}
+
+// memOperand parses "off(reg)" where off is an optional expression.
+func (a *assembler) memOperand(tok string, line int) (int32, uint8, error) {
+	open := strings.Index(tok, "(")
+	close := strings.LastIndex(tok, ")")
+	if open < 0 || close < open {
+		return 0, 0, asmError{line, fmt.Sprintf("bad memory operand %q (want off(reg))", tok)}
+	}
+	offExpr := strings.TrimSpace(tok[:open])
+	var off int32
+	if offExpr != "" {
+		v, err := a.eval(offExpr, false)
+		if err != nil {
+			return 0, 0, asmError{line, err.Error()}
+		}
+		off = v
+	}
+	r, err := a.reg(tok[open+1:close], line)
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, r, nil
+}
+
+func (a *assembler) csr(tok string, line int) (int32, error) {
+	if v, ok := csrNames[strings.ToLower(strings.TrimSpace(tok))]; ok {
+		return v, nil
+	}
+	v, err := a.eval(tok, false)
+	if err != nil {
+		return 0, asmError{line, fmt.Sprintf("unknown CSR %q", tok)}
+	}
+	return v, nil
+}
+
+func (a *assembler) emit(f fragment, in Instruction, slot int) error {
+	w, err := in.Encode()
+	if err != nil {
+		return asmError{f.line, err.Error()}
+	}
+	a.put32(f.addr+uint32(4*slot), w)
+	return nil
+}
+
+func (a *assembler) put32(addr uint32, w uint32) {
+	base, buf := a.segFor(addr)
+	off := addr - base
+	buf[off] = byte(w)
+	buf[off+1] = byte(w >> 8)
+	buf[off+2] = byte(w >> 16)
+	buf[off+3] = byte(w >> 24)
+}
+
+// segFor returns the segment containing addr. Segments are pre-allocated in
+// pass2 setup from fragment extents.
+func (a *assembler) segFor(addr uint32) (uint32, []byte) {
+	for _, base := range a.order {
+		buf := a.segs[base]
+		if addr >= base && addr < base+uint32(len(buf)) {
+			return base, buf
+		}
+	}
+	panic(fmt.Sprintf("isa: address %#x outside any segment", addr))
+}
+
+func (a *assembler) pass2() error {
+	// Build segment extents: merge fragments into contiguous runs.
+	type run struct{ start, end uint32 }
+	var runs []run
+	sorted := make([]fragment, len(a.frags))
+	copy(sorted, a.frags)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].addr < sorted[j].addr })
+	for _, f := range sorted {
+		if f.words == 0 {
+			continue
+		}
+		end := f.addr + uint32(f.words)
+		if len(runs) > 0 && f.addr <= runs[len(runs)-1].end {
+			if end > runs[len(runs)-1].end {
+				runs[len(runs)-1].end = end
+			}
+			continue
+		}
+		runs = append(runs, run{f.addr, end})
+	}
+	a.segs = map[uint32][]byte{}
+	for _, r := range runs {
+		a.segs[r.start] = make([]byte, r.end-r.start)
+		a.order = append(a.order, r.start)
+	}
+	if !a.haveOrg && len(runs) > 0 {
+		a.entry = runs[0].start
+	}
+
+	for _, f := range a.frags {
+		if err := a.assembleFragment(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *assembler) assembleFragment(f fragment) error {
+	switch f.mnem {
+	case ".word":
+		for i, arg := range f.args {
+			v, err := a.eval(arg, false)
+			if err != nil {
+				return asmError{f.line, err.Error()}
+			}
+			a.put32(f.addr+uint32(4*i), uint32(v))
+		}
+		return nil
+	case ".byte":
+		base, buf := a.segFor(f.addr)
+		for i, arg := range f.args {
+			v, err := a.eval(arg, false)
+			if err != nil {
+				return asmError{f.line, err.Error()}
+			}
+			buf[f.addr-base+uint32(i)] = byte(v)
+		}
+		return nil
+	case ".space":
+		return nil // already zeroed
+	}
+	return a.assembleInstr(f)
+}
+
+// relTarget converts a branch/jump target expression into a word-relative
+// offset from the instruction at addr.
+func (a *assembler) relTarget(expr string, addr uint32, line int) (int32, error) {
+	v, err := a.eval(expr, false)
+	if err != nil {
+		return 0, asmError{line, err.Error()}
+	}
+	diff := int64(int32(uint32(v))) - int64(int32(addr))
+	if diff%4 != 0 {
+		return 0, asmError{line, fmt.Sprintf("branch target %#x misaligned from %#x", uint32(v), addr)}
+	}
+	return int32(diff / 4), nil
+}
+
+func (a *assembler) assembleInstr(f fragment) error {
+	need := func(n int) error {
+		if len(f.args) != n {
+			return asmError{f.line, fmt.Sprintf("%s needs %d operands, got %d", f.mnem, n, len(f.args))}
+		}
+		return nil
+	}
+
+	rrr := func(op Opcode) error {
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := a.reg(f.args[0], f.line)
+		if err != nil {
+			return err
+		}
+		rs1, err := a.reg(f.args[1], f.line)
+		if err != nil {
+			return err
+		}
+		rs2, err := a.reg(f.args[2], f.line)
+		if err != nil {
+			return err
+		}
+		return a.emit(f, Instruction{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}, 0)
+	}
+	rri := func(op Opcode) error {
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := a.reg(f.args[0], f.line)
+		if err != nil {
+			return err
+		}
+		rs1, err := a.reg(f.args[1], f.line)
+		if err != nil {
+			return err
+		}
+		imm, err := a.eval(f.args[2], false)
+		if err != nil {
+			return asmError{f.line, err.Error()}
+		}
+		return a.emit(f, Instruction{Op: op, Rd: rd, Rs1: rs1, Imm: imm}, 0)
+	}
+	load := func(op Opcode) error {
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(f.args[0], f.line)
+		if err != nil {
+			return err
+		}
+		off, rs1, err := a.memOperand(f.args[1], f.line)
+		if err != nil {
+			return err
+		}
+		return a.emit(f, Instruction{Op: op, Rd: rd, Rs1: rs1, Imm: off}, 0)
+	}
+	store := func(op Opcode) error {
+		if err := need(2); err != nil {
+			return err
+		}
+		rs2, err := a.reg(f.args[0], f.line)
+		if err != nil {
+			return err
+		}
+		off, rs1, err := a.memOperand(f.args[1], f.line)
+		if err != nil {
+			return err
+		}
+		return a.emit(f, Instruction{Op: op, Rs1: rs1, Rs2: rs2, Imm: off}, 0)
+	}
+	branch := func(op Opcode, swap bool) error {
+		if err := need(3); err != nil {
+			return err
+		}
+		rs1, err := a.reg(f.args[0], f.line)
+		if err != nil {
+			return err
+		}
+		rs2, err := a.reg(f.args[1], f.line)
+		if err != nil {
+			return err
+		}
+		if swap {
+			rs1, rs2 = rs2, rs1
+		}
+		off, err := a.relTarget(f.args[2], f.addr, f.line)
+		if err != nil {
+			return err
+		}
+		return a.emit(f, Instruction{Op: op, Rs1: rs1, Rs2: rs2, Imm: off}, 0)
+	}
+	loadImm := func(rd uint8, v int32) error {
+		// Always two slots: lui+addi, so sizes from pass 1 hold.
+		hi := (v + 512) >> 10
+		lo := v - (hi << 10)
+		if err := a.emit(f, Instruction{Op: OpLUI, Rd: rd, Imm: hi}, 0); err != nil {
+			return err
+		}
+		return a.emit(f, Instruction{Op: OpADDI, Rd: rd, Rs1: rd, Imm: lo}, 1)
+	}
+
+	switch f.mnem {
+	case "add":
+		return rrr(OpADD)
+	case "sub":
+		return rrr(OpSUB)
+	case "and":
+		return rrr(OpAND)
+	case "or":
+		return rrr(OpOR)
+	case "xor":
+		return rrr(OpXOR)
+	case "sll":
+		return rrr(OpSLL)
+	case "srl":
+		return rrr(OpSRL)
+	case "sra":
+		return rrr(OpSRA)
+	case "slt":
+		return rrr(OpSLT)
+	case "sltu":
+		return rrr(OpSLTU)
+	case "mul":
+		return rrr(OpMUL)
+	case "addi":
+		return rri(OpADDI)
+	case "andi":
+		return rri(OpANDI)
+	case "ori":
+		return rri(OpORI)
+	case "xori":
+		return rri(OpXORI)
+	case "slli":
+		return rri(OpSLLI)
+	case "srli":
+		return rri(OpSRLI)
+	case "slti":
+		return rri(OpSLTI)
+	case "lui":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(f.args[0], f.line)
+		if err != nil {
+			return err
+		}
+		imm, err := a.eval(f.args[1], false)
+		if err != nil {
+			return asmError{f.line, err.Error()}
+		}
+		return a.emit(f, Instruction{Op: OpLUI, Rd: rd, Imm: imm}, 0)
+	case "lw":
+		return load(OpLW)
+	case "lb":
+		return load(OpLB)
+	case "lbu":
+		return load(OpLBU)
+	case "sw":
+		return store(OpSW)
+	case "sb":
+		return store(OpSB)
+	case "beq":
+		return branch(OpBEQ, false)
+	case "bne":
+		return branch(OpBNE, false)
+	case "blt":
+		return branch(OpBLT, false)
+	case "bge":
+		return branch(OpBGE, false)
+	case "bltu":
+		return branch(OpBLTU, false)
+	case "bgeu":
+		return branch(OpBGEU, false)
+	case "bgt":
+		return branch(OpBLT, true)
+	case "ble":
+		return branch(OpBGE, true)
+	case "bgtu":
+		return branch(OpBLTU, true)
+	case "bleu":
+		return branch(OpBGEU, true)
+	case "jal":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(f.args[0], f.line)
+		if err != nil {
+			return err
+		}
+		off, err := a.relTarget(f.args[1], f.addr, f.line)
+		if err != nil {
+			return err
+		}
+		return a.emit(f, Instruction{Op: OpJAL, Rd: rd, Imm: off}, 0)
+	case "jalr":
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := a.reg(f.args[0], f.line)
+		if err != nil {
+			return err
+		}
+		rs1, err := a.reg(f.args[1], f.line)
+		if err != nil {
+			return err
+		}
+		imm, err := a.eval(f.args[2], false)
+		if err != nil {
+			return asmError{f.line, err.Error()}
+		}
+		return a.emit(f, Instruction{Op: OpJALR, Rd: rd, Rs1: rs1, Imm: imm}, 0)
+	case "csrr":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(f.args[0], f.line)
+		if err != nil {
+			return err
+		}
+		csr, err := a.csr(f.args[1], f.line)
+		if err != nil {
+			return err
+		}
+		return a.emit(f, Instruction{Op: OpCSRR, Rd: rd, Imm: csr}, 0)
+	case "csrw":
+		if err := need(2); err != nil {
+			return err
+		}
+		csr, err := a.csr(f.args[0], f.line)
+		if err != nil {
+			return err
+		}
+		rs1, err := a.reg(f.args[1], f.line)
+		if err != nil {
+			return err
+		}
+		return a.emit(f, Instruction{Op: OpCSRW, Rs1: rs1, Imm: csr}, 0)
+	case "ecall":
+		var imm int32
+		if len(f.args) == 1 {
+			v, err := a.eval(f.args[0], false)
+			if err != nil {
+				return asmError{f.line, err.Error()}
+			}
+			imm = v
+		} else if len(f.args) != 0 {
+			return asmError{f.line, "ecall takes at most one operand"}
+		}
+		return a.emit(f, Instruction{Op: OpECALL, Imm: imm}, 0)
+	case "eret":
+		return a.emit(f, Instruction{Op: OpERET}, 0)
+	case "smc":
+		var imm int32
+		if len(f.args) == 1 {
+			v, err := a.eval(f.args[0], false)
+			if err != nil {
+				return asmError{f.line, err.Error()}
+			}
+			imm = v
+		}
+		return a.emit(f, Instruction{Op: OpSMC, Imm: imm}, 0)
+	case "fence":
+		return a.emit(f, Instruction{Op: OpFENCE}, 0)
+	case "clflush":
+		if err := need(1); err != nil {
+			return err
+		}
+		off, rs1, err := a.memOperand(f.args[0], f.line)
+		if err != nil {
+			return err
+		}
+		return a.emit(f, Instruction{Op: OpCLFLUSH, Rs1: rs1, Imm: off}, 0)
+	case "hlt":
+		return a.emit(f, Instruction{Op: OpHLT}, 0)
+	case "wfi":
+		return a.emit(f, Instruction{Op: OpWFI}, 0)
+
+	// Pseudo-instructions.
+	case "nop":
+		return a.emit(f, Instruction{Op: OpADDI}, 0)
+	case "mv":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(f.args[0], f.line)
+		if err != nil {
+			return err
+		}
+		rs1, err := a.reg(f.args[1], f.line)
+		if err != nil {
+			return err
+		}
+		return a.emit(f, Instruction{Op: OpADDI, Rd: rd, Rs1: rs1}, 0)
+	case "not":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(f.args[0], f.line)
+		if err != nil {
+			return err
+		}
+		rs1, err := a.reg(f.args[1], f.line)
+		if err != nil {
+			return err
+		}
+		return a.emit(f, Instruction{Op: OpXORI, Rd: rd, Rs1: rs1, Imm: -1}, 0)
+	case "li", "la":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(f.args[0], f.line)
+		if err != nil {
+			return err
+		}
+		v, err := a.eval(f.args[1], false)
+		if err != nil {
+			return asmError{f.line, err.Error()}
+		}
+		return loadImm(rd, v)
+	case "j":
+		if err := need(1); err != nil {
+			return err
+		}
+		off, err := a.relTarget(f.args[0], f.addr, f.line)
+		if err != nil {
+			return err
+		}
+		return a.emit(f, Instruction{Op: OpJAL, Rd: RegZero, Imm: off}, 0)
+	case "call":
+		if err := need(1); err != nil {
+			return err
+		}
+		off, err := a.relTarget(f.args[0], f.addr, f.line)
+		if err != nil {
+			return err
+		}
+		return a.emit(f, Instruction{Op: OpJAL, Rd: RegRA, Imm: off}, 0)
+	case "ret":
+		return a.emit(f, Instruction{Op: OpJALR, Rd: RegZero, Rs1: RegRA}, 0)
+	case "rdcycle":
+		if err := need(1); err != nil {
+			return err
+		}
+		rd, err := a.reg(f.args[0], f.line)
+		if err != nil {
+			return err
+		}
+		return a.emit(f, Instruction{Op: OpCSRR, Rd: rd, Imm: CSRCycle}, 0)
+	}
+	return asmError{f.line, fmt.Sprintf("unknown mnemonic %q", f.mnem)}
+}
+
+func (a *assembler) finish() *Program {
+	p := &Program{Entry: a.entry, Symbols: a.symbols}
+	sort.Slice(a.order, func(i, j int) bool { return a.order[i] < a.order[j] })
+	for _, base := range a.order {
+		p.Segments = append(p.Segments, Segment{Base: base, Data: a.segs[base]})
+	}
+	return p
+}
+
+// Disassemble renders the instruction word at addr for debugging output.
+func Disassemble(addr, word uint32) string {
+	return fmt.Sprintf("%08x: %08x  %s", addr, word, Decode(word))
+}

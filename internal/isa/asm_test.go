@@ -1,0 +1,275 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func word(t *testing.T, p *Program, addr uint32) uint32 {
+	t.Helper()
+	for _, s := range p.Segments {
+		if addr >= s.Base && addr+4 <= s.Base+uint32(len(s.Data)) {
+			off := addr - s.Base
+			return uint32(s.Data[off]) | uint32(s.Data[off+1])<<8 |
+				uint32(s.Data[off+2])<<16 | uint32(s.Data[off+3])<<24
+		}
+	}
+	t.Fatalf("address %#x not in program", addr)
+	return 0
+}
+
+func TestAssembleBasicProgram(t *testing.T) {
+	p, err := Assemble(`
+        .org 0x1000
+start:  addi t0, zero, 5     ; counter
+loop:   addi t0, t0, -1
+        bne  t0, zero, loop
+        hlt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != 0x1000 {
+		t.Fatalf("entry = %#x, want 0x1000", p.Entry)
+	}
+	if got := p.Symbol("start"); got != 0x1000 {
+		t.Errorf("start = %#x", got)
+	}
+	if got := p.Symbol("loop"); got != 0x1004 {
+		t.Errorf("loop = %#x", got)
+	}
+	in := Decode(word(t, p, 0x1008))
+	if in.Op != OpBNE || in.Imm != -1 {
+		t.Errorf("branch = %v, want bne with offset -1", in)
+	}
+	if Decode(word(t, p, 0x100c)).Op != OpHLT {
+		t.Error("missing hlt")
+	}
+}
+
+func TestAssembleLoadImmediate(t *testing.T) {
+	// li must reproduce arbitrary 32-bit constants through lui+addi.
+	values := []uint32{0, 1, 0xffffffff, 0x12345678, 0x80000000, 0x7fffffff,
+		0xdeadbeef, 1 << 10, (1 << 10) - 1, 0xfffffc00}
+	for _, v := range values {
+		p, err := Assemble("li a0, " + itohex(v) + "\nhlt")
+		if err != nil {
+			t.Fatalf("li %#x: %v", v, err)
+		}
+		lui := Decode(word(t, p, 0))
+		addi := Decode(word(t, p, 4))
+		if lui.Op != OpLUI || addi.Op != OpADDI {
+			t.Fatalf("li %#x expanded to %v; %v", v, lui, addi)
+		}
+		got := uint32(lui.Imm<<10) + uint32(addi.Imm)
+		if got != v {
+			t.Errorf("li %#x materializes %#x", v, got)
+		}
+	}
+}
+
+func itohex(v uint32) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 8)
+	for i := 7; i >= 0; i-- {
+		out[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return "0x" + string(out)
+}
+
+func TestAssembleDataDirectives(t *testing.T) {
+	p, err := Assemble(`
+        .org 0x2000
+        .equ magic, 0x1234
+table:  .word 1, 2, magic, table
+bytes:  .byte 0xaa, 'A', 7
+        .space 5
+after:  hlt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := word(t, p, 0x2008); got != 0x1234 {
+		t.Errorf(".word magic = %#x", got)
+	}
+	if got := word(t, p, 0x200c); got != 0x2000 {
+		t.Errorf(".word table = %#x", got)
+	}
+	seg := p.Segments[0]
+	if seg.Data[0x2010-seg.Base] != 0xaa || seg.Data[0x2011-seg.Base] != 'A' || seg.Data[0x2012-seg.Base] != 7 {
+		t.Error(".byte contents wrong")
+	}
+	if got := p.Symbol("after"); got != 0x2018 {
+		t.Errorf("after = %#x, want 0x2018", got)
+	}
+}
+
+func TestAssembleMultipleSegments(t *testing.T) {
+	p, err := Assemble(`
+        .org 0x1000
+        hlt
+        .org 0x8000
+data:   .word 42
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Segments) != 2 {
+		t.Fatalf("segments = %d, want 2", len(p.Segments))
+	}
+	if got := word(t, p, 0x8000); got != 42 {
+		t.Errorf("data = %d", got)
+	}
+}
+
+func TestAssemblePseudoInstructions(t *testing.T) {
+	p, err := Assemble(`
+        nop
+        mv   a0, a1
+        not  a2, a3
+        j    end
+        call end
+        rdcycle t0
+end:    ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := Decode(word(t, p, 0)); in.Op != OpADDI || in.Rd != RegZero {
+		t.Errorf("nop = %v", in)
+	}
+	if in := Decode(word(t, p, 4)); in.Op != OpADDI || in.Rd != RegA0 || in.Rs1 != RegA1 {
+		t.Errorf("mv = %v", in)
+	}
+	if in := Decode(word(t, p, 8)); in.Op != OpXORI || in.Imm != -1 {
+		t.Errorf("not = %v", in)
+	}
+	if in := Decode(word(t, p, 12)); in.Op != OpJAL || in.Rd != RegZero || in.Imm != 3 {
+		t.Errorf("j = %v", in)
+	}
+	if in := Decode(word(t, p, 16)); in.Op != OpJAL || in.Rd != RegRA || in.Imm != 2 {
+		t.Errorf("call = %v", in)
+	}
+	if in := Decode(word(t, p, 20)); in.Op != OpCSRR || in.Imm != CSRCycle {
+		t.Errorf("rdcycle = %v", in)
+	}
+	if in := Decode(word(t, p, 24)); in.Op != OpJALR || in.Rs1 != RegRA || in.Rd != RegZero {
+		t.Errorf("ret = %v", in)
+	}
+}
+
+func TestAssembleSwappedBranches(t *testing.T) {
+	p, err := Assemble(`
+t:      bgt a0, a1, t
+        ble a0, a1, t
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bgt := Decode(word(t, p, 0))
+	if bgt.Op != OpBLT || bgt.Rs1 != RegA1 || bgt.Rs2 != RegA0 {
+		t.Errorf("bgt = %v", bgt)
+	}
+	ble := Decode(word(t, p, 4))
+	if ble.Op != OpBGE || ble.Rs1 != RegA1 || ble.Rs2 != RegA0 {
+		t.Errorf("ble = %v", ble)
+	}
+}
+
+func TestAssembleCSRNames(t *testing.T) {
+	p, err := Assemble(`
+        csrr t0, satp
+        csrw tvec, t1
+        csrr t2, 0x41
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := Decode(word(t, p, 0)); in.Imm != CSRSatp {
+		t.Errorf("csrr satp imm = %#x", in.Imm)
+	}
+	if in := Decode(word(t, p, 4)); in.Imm != CSRTvec || in.Rs1 != RegT1 {
+		t.Errorf("csrw tvec = %v", in)
+	}
+	if in := Decode(word(t, p, 8)); in.Imm != CSRKey1 {
+		t.Errorf("csr number imm = %#x", in.Imm)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"undefined label":   "beq a0, a1, nowhere",
+		"duplicate label":   "x: nop\nx: nop",
+		"unknown mnemonic":  "frobnicate a0",
+		"unknown register":  "addi q7, zero, 1",
+		"operand count":     "add a0, a1",
+		"imm out of range":  "addi a0, zero, 100000",
+		"bad mem operand":   "lw a0, a1",
+		"misaligned target": "b: nop\nbeq a0, a1, b+1",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%s: expected error for %q", name, src)
+		} else if !strings.Contains(err.Error(), "line") {
+			t.Errorf("%s: error lacks line info: %v", name, err)
+		}
+	}
+}
+
+func TestAssembleAlign(t *testing.T) {
+	p, err := Assemble(`
+        .byte 1
+        .align 64
+here:   .word 7
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Symbol("here"); got != 64 {
+		t.Errorf("aligned symbol = %d, want 64", got)
+	}
+}
+
+func TestAssembleExpressionOperands(t *testing.T) {
+	p, err := Assemble(`
+        .equ base, 0x100
+        addi a0, zero, base+8
+        addi a1, zero, base-0x10
+data:   .word data+4
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := Decode(word(t, p, 0)); in.Imm != 0x108 {
+		t.Errorf("base+8 = %#x", in.Imm)
+	}
+	if in := Decode(word(t, p, 4)); in.Imm != 0xf0 {
+		t.Errorf("base-0x10 = %#x", in.Imm)
+	}
+	if got := word(t, p, 8); got != 12 {
+		t.Errorf("data+4 = %d, want 12", got)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("bogus")
+}
+
+func TestProgramSizeAndSymbolPanic(t *testing.T) {
+	p := MustAssemble("nop\nnop")
+	if p.Size() != 8 {
+		t.Errorf("size = %d", p.Size())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Symbol should panic on missing name")
+		}
+	}()
+	p.Symbol("missing")
+}

@@ -1,0 +1,64 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDisassembleFormat(t *testing.T) {
+	in := Instruction{Op: OpADDI, Rd: RegA0, Rs1: RegT0, Imm: 42}
+	w, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Disassemble(0x1000, w)
+	for _, want := range []string{"00001000", "addi a0, t0, 42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly %q missing %q", out, want)
+		}
+	}
+}
+
+// Property: assembling the disassembler's mnemonic output of a random
+// instruction yields the identical word (encode/format/parse fixpoint)
+// for the register-register and register-immediate classes.
+func TestAssembleDisassembleFixpoint(t *testing.T) {
+	i := 0
+	ops := []Opcode{OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSLL, OpSRL, OpSRA,
+		OpSLT, OpSLTU, OpMUL, OpADDI, OpANDI, OpORI, OpXORI}
+	f := func(rd, rs1, rs2 uint8, imm int16) bool {
+		op := ops[i%len(ops)]
+		i++
+		in := Instruction{Op: op, Rd: rd % NumRegs, Rs1: rs1 % NumRegs, Rs2: rs2 % NumRegs,
+			Imm: int32(imm % 8000)}
+		if op < OpADDI {
+			in.Imm = 0
+		} else {
+			in.Rs2 = 0
+		}
+		w, err := in.Encode()
+		if err != nil {
+			return false
+		}
+		// Reassemble the String() rendering.
+		p, err := Assemble(Decode(w).String())
+		if err != nil {
+			return false
+		}
+		seg := p.Segments[0]
+		got := uint32(seg.Data[0]) | uint32(seg.Data[1])<<8 |
+			uint32(seg.Data[2])<<16 | uint32(seg.Data[3])<<24
+		return got == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisassembleInvalidWord(t *testing.T) {
+	out := Disassemble(0, 0xffffffff)
+	if !strings.Contains(out, "invalid") {
+		t.Errorf("invalid word disassembled as %q", out)
+	}
+}

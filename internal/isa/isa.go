@@ -1,0 +1,360 @@
+// Package isa defines HS-32, the 32-bit RISC-like instruction set used by
+// the intrust hardware simulator.
+//
+// HS-32 is deliberately small: 16 general-purpose registers, fixed 32-bit
+// instruction words and a single addressing mode. It exists so that the
+// security experiments in this repository (Spectre gadgets, Meltdown
+// sequences, enclave entry code, attestation ROM routines) can run as real
+// programs on a simulated CPU instead of being modelled by ad-hoc Go calls.
+//
+// Instruction word layout (bit 31 is the most significant bit):
+//
+//	[31:26] opcode
+//	[25:22] rd
+//	[21:18] rs1
+//	[17:14] rs2
+//	[13:0]  imm14 (two's complement where signed)
+//
+// The U/J-format instructions LUI and JAL use a 22-bit immediate instead:
+//
+//	[31:26] opcode
+//	[25:22] rd
+//	[21:0]  imm22 (two's complement for JAL; LUI shifts it left by 10)
+package isa
+
+import "fmt"
+
+// Opcode identifies an HS-32 instruction.
+type Opcode uint8
+
+// Instruction opcodes. The numeric values are part of the binary encoding
+// and must not be reordered.
+const (
+	OpInvalid Opcode = iota
+
+	// ALU register-register.
+	OpADD
+	OpSUB
+	OpAND
+	OpOR
+	OpXOR
+	OpSLL
+	OpSRL
+	OpSRA
+	OpSLT
+	OpSLTU
+	OpMUL
+
+	// ALU register-immediate.
+	OpADDI
+	OpANDI
+	OpORI
+	OpXORI
+	OpSLLI
+	OpSRLI
+	OpSLTI
+	OpLUI
+
+	// Loads and stores.
+	OpLW
+	OpLB
+	OpLBU
+	OpSW
+	OpSB
+
+	// Control flow.
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBGE
+	OpBLTU
+	OpBGEU
+	OpJAL
+	OpJALR
+
+	// System.
+	OpCSRR
+	OpCSRW
+	OpECALL
+	OpERET
+	OpSMC
+	OpFENCE   // speculation barrier: drains the transient window
+	OpCLFLUSH // flush the cache line containing [rs1+imm]
+	OpHLT
+	OpWFI
+
+	opCount // sentinel, not a real opcode
+)
+
+// NumOpcodes is the number of defined opcodes including OpInvalid.
+const NumOpcodes = int(opCount)
+
+// Register indices with conventional ABI roles. x0 is hardwired to zero.
+const (
+	RegZero = 0 // always reads as zero
+	RegRA   = 1 // return address
+	RegSP   = 2 // stack pointer
+	RegGP   = 3 // global pointer
+	RegT0   = 4 // temporaries t0-t4
+	RegT1   = 5
+	RegT2   = 6
+	RegT3   = 7
+	RegT4   = 8
+	RegA0   = 9 // arguments / return values a0-a3
+	RegA1   = 10
+	RegA2   = 11
+	RegA3   = 12
+	RegS0   = 13 // callee-saved s0-s2
+	RegS1   = 14
+	RegS2   = 15
+)
+
+// NumRegs is the number of general-purpose registers.
+const NumRegs = 16
+
+// CSR numbers. CSRs are accessed with OpCSRR/OpCSRW and identified by the
+// 14-bit immediate field.
+const (
+	CSRCycle   = 0x000 // cycle counter (read-only)
+	CSRInstret = 0x001 // retired-instruction counter (read-only)
+	CSRStatus  = 0x010 // interrupt-enable and previous-privilege state
+	CSRTvec    = 0x011 // trap vector base address
+	CSREpc     = 0x012 // exception program counter
+	CSRCause   = 0x013 // trap cause
+	CSRTval    = 0x014 // trap value (faulting address)
+	CSRScratch = 0x015 // scratch register for trap handlers
+	CSRSatp    = 0x020 // address translation: bit 31 enable, [19:0] root PPN
+	CSRFreq    = 0x030 // DVFS: core frequency in MHz
+	CSRVolt    = 0x031 // DVFS: core voltage in millivolts
+	CSRKey0    = 0x040 // platform key word 0 (access may be PC-gated)
+	CSRKey1    = 0x041
+	CSRKey2    = 0x042
+	CSRKey3    = 0x043
+	CSRWorld   = 0x050 // TrustZone-style NS bit (0 = secure, 1 = normal)
+)
+
+// Status register bit assignments.
+const (
+	StatusIE   = 1 << 0 // interrupts enabled
+	StatusPIE  = 1 << 1 // previous IE (saved on trap)
+	StatusPPS  = 1 << 2 // previous privilege, low bit
+	StatusPPM  = 1 << 3 // previous privilege, high bit
+	StatusPPSh = 2      // shift of the previous-privilege field
+)
+
+// Priv is a CPU privilege level.
+type Priv uint8
+
+// Privilege levels, lowest to highest.
+const (
+	PrivUser    Priv = 0
+	PrivSuper   Priv = 1
+	PrivMachine Priv = 2
+)
+
+func (p Priv) String() string {
+	switch p {
+	case PrivUser:
+		return "U"
+	case PrivSuper:
+		return "S"
+	case PrivMachine:
+		return "M"
+	}
+	return fmt.Sprintf("Priv(%d)", uint8(p))
+}
+
+// Cause codes reported in CSRCause when a trap is taken.
+const (
+	CauseNone       = 0
+	CauseIllegal    = 1  // illegal or undecodable instruction
+	CauseFetchFault = 2  // instruction access or page fault
+	CauseLoadFault  = 3  // data load access or page fault
+	CauseStoreFault = 4  // data store access or page fault
+	CauseEcallU     = 5  // ECALL from user mode
+	CauseEcallS     = 6  // ECALL from supervisor mode
+	CauseMisaligned = 7  // misaligned access
+	CauseBusError   = 8  // bus or protection error outside translation
+	CauseSMC        = 9  // secure monitor call
+	CauseInterrupt  = 16 // external/timer interrupt
+	CauseGlitchTrap = 17 // integrity trap raised by fault-detection logic
+)
+
+// Instruction is a decoded HS-32 instruction.
+type Instruction struct {
+	Op  Opcode
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int32 // sign-extended 14-bit, or 22-bit for LUI/JAL
+}
+
+// longImm reports whether op uses the 22-bit immediate form.
+func longImm(op Opcode) bool {
+	return op == OpLUI || op == OpJAL
+}
+
+// immBitsFit reports whether v fits in a signed field of the given width.
+func immBitsFit(v int32, bits uint) bool {
+	min := int32(-1) << (bits - 1)
+	max := int32(1)<<(bits-1) - 1
+	return v >= min && v <= max
+}
+
+// Encode packs the instruction into a 32-bit word. It returns an error if a
+// field is out of range so that the assembler can report bad immediates.
+func (in Instruction) Encode() (uint32, error) {
+	if in.Op == OpInvalid || int(in.Op) >= NumOpcodes {
+		return 0, fmt.Errorf("isa: cannot encode opcode %d", in.Op)
+	}
+	if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
+		return 0, fmt.Errorf("isa: register out of range in %v", in)
+	}
+	w := uint32(in.Op) << 26
+	w |= uint32(in.Rd) << 22
+	if longImm(in.Op) {
+		if !immBitsFit(in.Imm, 22) {
+			return 0, fmt.Errorf("isa: immediate %d out of range for %s", in.Imm, in.Op)
+		}
+		w |= uint32(in.Imm) & 0x3fffff
+		return w, nil
+	}
+	if !immBitsFit(in.Imm, 14) {
+		return 0, fmt.Errorf("isa: immediate %d out of range for %s", in.Imm, in.Op)
+	}
+	w |= uint32(in.Rs1) << 18
+	w |= uint32(in.Rs2) << 14
+	w |= uint32(in.Imm) & 0x3fff
+	return w, nil
+}
+
+// Decode unpacks a 32-bit instruction word. Undecodable words produce an
+// Instruction with Op == OpInvalid; executing one raises an illegal
+// instruction trap, mirroring real hardware.
+func Decode(w uint32) Instruction {
+	op := Opcode(w >> 26)
+	if int(op) >= NumOpcodes {
+		return Instruction{Op: OpInvalid}
+	}
+	in := Instruction{Op: op, Rd: uint8((w >> 22) & 0xf)}
+	if longImm(op) {
+		imm := int32(w & 0x3fffff)
+		if imm&(1<<21) != 0 {
+			imm |= ^int32(0x3fffff)
+		}
+		in.Imm = imm
+		return in
+	}
+	in.Rs1 = uint8((w >> 18) & 0xf)
+	in.Rs2 = uint8((w >> 14) & 0xf)
+	imm := int32(w & 0x3fff)
+	if imm&(1<<13) != 0 {
+		imm |= ^int32(0x3fff)
+	}
+	in.Imm = imm
+	return in
+}
+
+// opNames maps opcodes to their assembly mnemonics.
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpADD:     "add", OpSUB: "sub", OpAND: "and", OpOR: "or", OpXOR: "xor",
+	OpSLL: "sll", OpSRL: "srl", OpSRA: "sra", OpSLT: "slt", OpSLTU: "sltu",
+	OpMUL:  "mul",
+	OpADDI: "addi", OpANDI: "andi", OpORI: "ori", OpXORI: "xori",
+	OpSLLI: "slli", OpSRLI: "srli", OpSLTI: "slti", OpLUI: "lui",
+	OpLW: "lw", OpLB: "lb", OpLBU: "lbu", OpSW: "sw", OpSB: "sb",
+	OpBEQ: "beq", OpBNE: "bne", OpBLT: "blt", OpBGE: "bge",
+	OpBLTU: "bltu", OpBGEU: "bgeu",
+	OpJAL: "jal", OpJALR: "jalr",
+	OpCSRR: "csrr", OpCSRW: "csrw",
+	OpECALL: "ecall", OpERET: "eret", OpSMC: "smc",
+	OpFENCE: "fence", OpCLFLUSH: "clflush",
+	OpHLT: "hlt", OpWFI: "wfi",
+}
+
+func (op Opcode) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// IsBranch reports whether op is a conditional branch.
+func (op Opcode) IsBranch() bool {
+	return op >= OpBEQ && op <= OpBGEU
+}
+
+// IsLoad reports whether op reads data memory.
+func (op Opcode) IsLoad() bool {
+	return op == OpLW || op == OpLB || op == OpLBU
+}
+
+// IsStore reports whether op writes data memory.
+func (op Opcode) IsStore() bool {
+	return op == OpSW || op == OpSB
+}
+
+// regNames holds the ABI names of the general-purpose registers.
+var regNames = [NumRegs]string{
+	"zero", "ra", "sp", "gp", "t0", "t1", "t2", "t3", "t4",
+	"a0", "a1", "a2", "a3", "s0", "s1", "s2",
+}
+
+// RegName returns the ABI name of register r ("x7" style for out-of-range).
+func RegName(r uint8) string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("x%d", r)
+}
+
+// RegByName resolves an ABI name ("t0") or numeric name ("x4") to a
+// register index.
+func RegByName(name string) (uint8, bool) {
+	for i, n := range regNames {
+		if n == name {
+			return uint8(i), true
+		}
+	}
+	if len(name) >= 2 && name[0] == 'x' {
+		var v int
+		if _, err := fmt.Sscanf(name, "x%d", &v); err == nil && v >= 0 && v < NumRegs {
+			return uint8(v), true
+		}
+	}
+	return 0, false
+}
+
+func (in Instruction) String() string {
+	switch {
+	case in.Op == OpInvalid:
+		return "invalid"
+	case in.Op == OpLUI:
+		return fmt.Sprintf("lui %s, %d", RegName(in.Rd), in.Imm)
+	case in.Op == OpJAL:
+		return fmt.Sprintf("jal %s, %d", RegName(in.Rd), in.Imm)
+	case in.Op.IsLoad():
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, RegName(in.Rd), in.Imm, RegName(in.Rs1))
+	case in.Op.IsStore():
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, RegName(in.Rs2), in.Imm, RegName(in.Rs1))
+	case in.Op.IsBranch():
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, RegName(in.Rs1), RegName(in.Rs2), in.Imm)
+	case in.Op == OpCSRR:
+		return fmt.Sprintf("csrr %s, %#x", RegName(in.Rd), in.Imm)
+	case in.Op == OpCSRW:
+		return fmt.Sprintf("csrw %#x, %s", in.Imm, RegName(in.Rs1))
+	case in.Op == OpECALL:
+		return fmt.Sprintf("ecall %d", in.Imm)
+	case in.Op == OpERET || in.Op == OpHLT || in.Op == OpWFI || in.Op == OpFENCE || in.Op == OpSMC:
+		return in.Op.String()
+	case in.Op == OpCLFLUSH:
+		return fmt.Sprintf("clflush %d(%s)", in.Imm, RegName(in.Rs1))
+	case in.Op == OpJALR:
+		return fmt.Sprintf("jalr %s, %s, %d", RegName(in.Rd), RegName(in.Rs1), in.Imm)
+	case in.Op >= OpADDI && in.Op <= OpSLTI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, RegName(in.Rd), RegName(in.Rs1), in.Imm)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, RegName(in.Rd), RegName(in.Rs1), RegName(in.Rs2))
+	}
+}

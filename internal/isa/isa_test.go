@@ -1,0 +1,145 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instruction{
+		{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpADDI, Rd: 4, Rs1: 5, Imm: -1},
+		{Op: OpADDI, Rd: 4, Rs1: 5, Imm: 8191},
+		{Op: OpADDI, Rd: 4, Rs1: 5, Imm: -8192},
+		{Op: OpLUI, Rd: 7, Imm: 0x1fffff},
+		{Op: OpLUI, Rd: 7, Imm: -0x200000},
+		{Op: OpJAL, Rd: RegRA, Imm: -12345},
+		{Op: OpLW, Rd: 3, Rs1: 9, Imm: 64},
+		{Op: OpSW, Rs1: 9, Rs2: 3, Imm: -64},
+		{Op: OpBEQ, Rs1: 1, Rs2: 2, Imm: -4},
+		{Op: OpCSRR, Rd: 5, Imm: CSRSatp},
+		{Op: OpHLT},
+		{Op: OpFENCE},
+		{Op: OpCLFLUSH, Rs1: 4, Imm: 128},
+	}
+	for _, in := range cases {
+		w, err := in.Encode()
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		got := Decode(w)
+		// Long-immediate forms do not carry rs1/rs2.
+		want := in
+		if longImm(in.Op) {
+			want.Rs1, want.Rs2 = 0, 0
+		}
+		if got != want {
+			t.Errorf("round trip %v: got %v", want, got)
+		}
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		op := Opcode(1 + rng.Intn(NumOpcodes-1))
+		in := Instruction{
+			Op:  op,
+			Rd:  uint8(rng.Intn(NumRegs)),
+			Rs1: uint8(rng.Intn(NumRegs)),
+			Rs2: uint8(rng.Intn(NumRegs)),
+		}
+		if longImm(op) {
+			in.Rs1, in.Rs2 = 0, 0
+			in.Imm = int32(rng.Intn(1<<22)) - (1 << 21)
+		} else {
+			in.Imm = int32(rng.Intn(1<<14)) - (1 << 13)
+		}
+		w, err := in.Encode()
+		if err != nil {
+			return false
+		}
+		return Decode(w) == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	bad := []Instruction{
+		{Op: OpADDI, Imm: 8192},
+		{Op: OpADDI, Imm: -8193},
+		{Op: OpLUI, Imm: 1 << 21},
+		{Op: OpInvalid},
+		{Op: OpADD, Rd: 16},
+	}
+	for _, in := range bad {
+		if _, err := in.Encode(); err == nil {
+			t.Errorf("expected error encoding %v", in)
+		}
+	}
+}
+
+func TestDecodeInvalidOpcode(t *testing.T) {
+	w := uint32(NumOpcodes) << 26
+	if got := Decode(w); got.Op != OpInvalid {
+		t.Errorf("decode of bad opcode = %v, want invalid", got)
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	for i := uint8(0); i < NumRegs; i++ {
+		name := RegName(i)
+		r, ok := RegByName(name)
+		if !ok || r != i {
+			t.Errorf("RegByName(RegName(%d)) = %d, %v", i, r, ok)
+		}
+	}
+	if r, ok := RegByName("x7"); !ok || r != 7 {
+		t.Errorf("RegByName(x7) = %d, %v", r, ok)
+	}
+	if _, ok := RegByName("x16"); ok {
+		t.Error("x16 should not resolve")
+	}
+	if _, ok := RegByName("bogus"); ok {
+		t.Error("bogus should not resolve")
+	}
+}
+
+func TestOpcodeClasses(t *testing.T) {
+	if !OpBEQ.IsBranch() || !OpBGEU.IsBranch() || OpJAL.IsBranch() {
+		t.Error("IsBranch misclassifies")
+	}
+	if !OpLW.IsLoad() || !OpLBU.IsLoad() || OpSW.IsLoad() {
+		t.Error("IsLoad misclassifies")
+	}
+	if !OpSW.IsStore() || !OpSB.IsStore() || OpLW.IsStore() {
+		t.Error("IsStore misclassifies")
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	// Smoke-test the formatter on each class; exact text is part of the
+	// disassembler contract used in debug logs.
+	cases := map[string]Instruction{
+		"add a0, t0, t1":   {Op: OpADD, Rd: RegA0, Rs1: RegT0, Rs2: RegT1},
+		"addi a0, t0, 5":   {Op: OpADDI, Rd: RegA0, Rs1: RegT0, Imm: 5},
+		"lw a0, 8(sp)":     {Op: OpLW, Rd: RegA0, Rs1: RegSP, Imm: 8},
+		"sw a0, -4(sp)":    {Op: OpSW, Rs2: RegA0, Rs1: RegSP, Imm: -4},
+		"beq t0, t1, -2":   {Op: OpBEQ, Rs1: RegT0, Rs2: RegT1, Imm: -2},
+		"lui a0, 100":      {Op: OpLUI, Rd: RegA0, Imm: 100},
+		"jal ra, 16":       {Op: OpJAL, Rd: RegRA, Imm: 16},
+		"jalr zero, ra, 0": {Op: OpJALR, Rd: RegZero, Rs1: RegRA},
+		"csrr t0, 0x20":    {Op: OpCSRR, Rd: RegT0, Imm: CSRSatp},
+		"ecall 3":          {Op: OpECALL, Imm: 3},
+		"hlt":              {Op: OpHLT},
+		"clflush 64(t0)":   {Op: OpCLFLUSH, Rs1: RegT0, Imm: 64},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/intrust-sim/intrust/internal/isa"
+)
+
+func testMemory(t *testing.T) *Memory {
+	t.Helper()
+	m := NewMemory()
+	m.MustAddRegion(Region{Name: "ram", Base: 0x1000, Size: 0x4000, Kind: RegionRAM})
+	m.MustAddRegion(Region{Name: "rom", Base: 0x0, Size: 0x400, Kind: RegionROM})
+	return m
+}
+
+func cpuAccess(addr uint32, size int, kind AccessKind) Access {
+	return Access{Addr: addr, Size: size, Kind: kind, Priv: isa.PrivMachine,
+		Init: Initiator{Type: InitCPU}}
+}
+
+func TestMemoryReadWriteRoundTrip(t *testing.T) {
+	m := testMemory(t)
+	c := NewController(m)
+	if err := c.Write(cpuAccess(0x1000, 4, KindStore), 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Read(cpuAccess(0x1000, 4, KindLoad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xdeadbeef {
+		t.Fatalf("read = %#x", v)
+	}
+	// Byte granularity.
+	v, err = c.Read(cpuAccess(0x1003, 1, KindLoad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xde {
+		t.Fatalf("byte read = %#x", v)
+	}
+}
+
+func TestMemoryRoundTripQuick(t *testing.T) {
+	m := testMemory(t)
+	c := NewController(m)
+	rng := rand.New(rand.NewSource(7))
+	f := func(val uint32) bool {
+		addr := 0x1000 + uint32(rng.Intn(0x1000))*4
+		if err := c.Write(cpuAccess(addr, 4, KindStore), val); err != nil {
+			return false
+		}
+		got, err := c.Read(cpuAccess(addr, 4, KindLoad))
+		return err == nil && got == val
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestROMRejectsStores(t *testing.T) {
+	m := testMemory(t)
+	c := NewController(m)
+	if err := c.Write(cpuAccess(0x0, 4, KindStore), 1); err == nil {
+		t.Fatal("store to ROM succeeded")
+	}
+	// But LoadImage (provisioning) can write ROM.
+	if err := m.LoadImage(0, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Read(cpuAccess(0x0, 4, KindLoad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x04030201 {
+		t.Fatalf("ROM read = %#x", v)
+	}
+}
+
+func TestUnmappedAndMisaligned(t *testing.T) {
+	m := testMemory(t)
+	c := NewController(m)
+	if _, err := c.Read(cpuAccess(0x9000000, 4, KindLoad)); err == nil {
+		t.Error("unmapped read succeeded")
+	}
+	if _, err := c.Read(cpuAccess(0x1002, 4, KindLoad)); err == nil {
+		t.Error("misaligned read succeeded")
+	}
+	if _, err := c.Read(Access{Addr: 0x1000, Size: 3}); err == nil {
+		t.Error("bad size accepted")
+	}
+}
+
+func TestRegionOverlapRejected(t *testing.T) {
+	m := testMemory(t)
+	if err := m.AddRegion(Region{Name: "clash", Base: 0x2000, Size: 16, Kind: RegionRAM}); err == nil {
+		t.Error("overlapping region accepted")
+	}
+	if err := m.AddRegion(Region{Name: "empty", Base: 0x100000, Size: 0}); err == nil {
+		t.Error("zero-size region accepted")
+	}
+	if err := m.AddRegion(Region{Name: "wrap", Base: 0xfffffff0, Size: 0x100}); err == nil {
+		t.Error("wrapping region accepted")
+	}
+}
+
+type testDevice struct {
+	regs [4]uint32
+}
+
+func (d *testDevice) Read32(off uint32) uint32     { return d.regs[off/4] }
+func (d *testDevice) Write32(off uint32, v uint32) { d.regs[off/4] = v }
+
+func TestMMIODevice(t *testing.T) {
+	m := NewMemory()
+	dev := &testDevice{}
+	m.MustAddRegion(Region{Name: "dev", Base: 0xf000, Size: 16, Kind: RegionMMIO, Device: dev})
+	c := NewController(m)
+	if err := c.Write(cpuAccess(0xf004, 4, KindStore), 0x55); err != nil {
+		t.Fatal(err)
+	}
+	if dev.regs[1] != 0x55 {
+		t.Fatalf("device reg = %#x", dev.regs[1])
+	}
+	v, err := c.Read(cpuAccess(0xf004, 4, KindLoad))
+	if err != nil || v != 0x55 {
+		t.Fatalf("mmio read = %#x, %v", v, err)
+	}
+}
+
+func TestFilterDenyAndAbort(t *testing.T) {
+	m := testMemory(t)
+	c := NewController(m)
+	// Protect [0x2000,0x3000): deny non-machine, abort DMA.
+	c.AddFilter(FuncFilter{FilterName: "guard", Fn: func(a Access) Action {
+		if a.Addr < 0x2000 || a.Addr >= 0x3000 {
+			return ActionAllow
+		}
+		if a.Init.Type == InitDMA {
+			return ActionAbort
+		}
+		if a.Priv < isa.PrivMachine {
+			return ActionDeny
+		}
+		return ActionAllow
+	}})
+
+	if err := c.Write(cpuAccess(0x2000, 4, KindStore), 0x1234); err != nil {
+		t.Fatal(err)
+	}
+	// User-privilege read is denied.
+	ua := cpuAccess(0x2000, 4, KindLoad)
+	ua.Priv = isa.PrivUser
+	if _, err := c.Read(ua); err == nil {
+		t.Error("user read of guarded region succeeded")
+	}
+	// DMA read aborts: returns AbortValue, no error.
+	dma := NewDMA(c, 1)
+	buf := make([]byte, 4)
+	if err := dma.ReadInto(0x2000, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte{0xff, 0xff, 0xff, 0xff}) {
+		t.Errorf("DMA abort read = %x", buf)
+	}
+	// DMA write is dropped.
+	if err := dma.WriteFrom(0x2000, []byte{9, 9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := c.Read(cpuAccess(0x2000, 4, KindLoad))
+	if v != 0x1234 {
+		t.Errorf("aborted DMA write modified memory: %#x", v)
+	}
+	st := c.Stats("guard")
+	if st.Denied == 0 || st.Aborted == 0 {
+		t.Errorf("filter stats not recorded: %+v", st)
+	}
+	// Removing the filter restores access.
+	c.RemoveFilter("guard")
+	if _, err := c.Read(ua); err != nil {
+		t.Errorf("read after filter removal: %v", err)
+	}
+}
+
+func TestDMACopyUnprotected(t *testing.T) {
+	m := testMemory(t)
+	c := NewController(m)
+	want := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := m.LoadImage(0x1100, want); err != nil {
+		t.Fatal(err)
+	}
+	dma := NewDMA(c, 0)
+	if err := dma.Copy(0x1200, 0x1100, len(want)); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if err := m.ReadRaw(0x1200, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("DMA copy = %x, want %x", got, want)
+	}
+}
+
+func TestLoadProgram(t *testing.T) {
+	m := testMemory(t)
+	p := isa.MustAssemble(".org 0x1000\nstart: addi a0, zero, 7\nhlt")
+	if err := m.LoadProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	c := NewController(m)
+	w, err := c.Read(cpuAccess(0x1000, 4, KindFetch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := isa.Decode(w)
+	if in.Op != isa.OpADDI || in.Rd != isa.RegA0 || in.Imm != 7 {
+		t.Errorf("loaded instruction = %v", in)
+	}
+}

@@ -1,0 +1,250 @@
+// Package power models the side-channel measurement apparatus of Section 5:
+// power and electromagnetic leakage of a device under test. It implements
+// the standard leakage models of the SCA literature (Hamming weight,
+// Hamming distance), a seeded Gaussian noise source in place of the
+// oscilloscope's noise floor, and trace recording with optional temporal
+// jitter (the effect hiding countermeasures introduce).
+//
+// The apparatus substitutes for the paper's physical lab setup: a victim
+// implementation instrumented with a Recorder produces traces with exactly
+// the statistical structure DPA/CPA consume, so countermeasure claims
+// (masking kills first-order correlation, hiding scales the trace budget)
+// can be reproduced quantitatively.
+package power
+
+import (
+	"math"
+	"math/rand"
+)
+
+// HW returns the Hamming weight of v — the canonical power model for CMOS
+// bus transfers.
+func HW(v uint32) float64 {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return float64(n)
+}
+
+// HD returns the Hamming distance between consecutive values — the model
+// for register overwrites.
+func HD(prev, next uint32) float64 { return HW(prev ^ next) }
+
+// Noise is a seeded Gaussian noise source.
+type Noise struct {
+	Sigma float64
+	rng   *rand.Rand
+}
+
+// NewNoise returns a Gaussian source with standard deviation sigma.
+func NewNoise(sigma float64, seed int64) *Noise {
+	return &Noise{Sigma: sigma, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Sample draws one noise sample.
+func (n *Noise) Sample() float64 {
+	if n == nil || n.Sigma == 0 {
+		return 0
+	}
+	return n.rng.NormFloat64() * n.Sigma
+}
+
+// Model selects how recorded intermediate values map to leakage.
+type Model uint8
+
+const (
+	// ModelHW leaks the Hamming weight of each value.
+	ModelHW Model = iota
+	// ModelHD leaks the Hamming distance to the previous value.
+	ModelHD
+	// ModelIdentity leaks the value directly (idealized probe).
+	ModelIdentity
+)
+
+// Probe describes the physical measurement channel.
+type Probe struct {
+	Model Model
+	// Gain scales the signal; EM probes typically capture less signal
+	// than a shunt resistor in the power rail.
+	Gain float64
+	// Noise is the measurement noise floor.
+	Noise *Noise
+	// JitterMax, when non-zero, inserts up to JitterMax random dummy
+	// samples before each real one — temporal misalignment as produced by
+	// hiding countermeasures (random delays) or an unstable trigger.
+	JitterMax int
+
+	jrng *rand.Rand
+}
+
+// PowerProbe returns a shunt-resistor power probe at the given noise level.
+func PowerProbe(sigma float64, seed int64) *Probe {
+	return &Probe{Model: ModelHW, Gain: 1.0, Noise: NewNoise(sigma, seed)}
+}
+
+// EMProbe returns a near-field EM probe: weaker coupling, noisier.
+func EMProbe(sigma float64, seed int64) *Probe {
+	return &Probe{Model: ModelHW, Gain: 0.6, Noise: NewNoise(sigma*1.8, seed)}
+}
+
+// Recorder captures one trace: a sequence of leakage samples.
+type Recorder struct {
+	Probe   *Probe
+	Samples []float64
+	prev    uint32
+}
+
+// NewRecorder starts a trace on the given probe.
+func NewRecorder(p *Probe) *Recorder {
+	if p.jrng == nil {
+		p.jrng = rand.New(rand.NewSource(0x7ace + int64(p.JitterMax)))
+	}
+	return &Recorder{Probe: p}
+}
+
+// Leak records the leakage of one intermediate value.
+func (r *Recorder) Leak(v uint32) {
+	p := r.Probe
+	if p.JitterMax > 0 {
+		for i, n := 0, p.jrng.Intn(p.JitterMax+1); i < n; i++ {
+			r.Samples = append(r.Samples, p.Noise.Sample())
+		}
+	}
+	var sig float64
+	switch p.Model {
+	case ModelHD:
+		sig = HD(r.prev, v)
+	case ModelIdentity:
+		sig = float64(v)
+	default:
+		sig = HW(v)
+	}
+	r.prev = v
+	r.Samples = append(r.Samples, sig*p.Gain+p.Noise.Sample())
+}
+
+// Trace is one captured measurement.
+type Trace []float64
+
+// TraceSet is a matrix of traces (rows) by sample points (columns). Traces
+// may have ragged lengths when jitter is on; statistics run over the
+// common prefix.
+type TraceSet struct {
+	Traces []Trace
+	// Inputs holds per-trace public data (e.g. plaintexts).
+	Inputs [][]byte
+}
+
+// Add appends a trace with its associated public input.
+func (ts *TraceSet) Add(tr Trace, input []byte) {
+	ts.Traces = append(ts.Traces, tr)
+	ts.Inputs = append(ts.Inputs, input)
+}
+
+// Len returns the number of traces.
+func (ts *TraceSet) Len() int { return len(ts.Traces) }
+
+// Points returns the number of usable sample points (minimum length).
+func (ts *TraceSet) Points() int {
+	if len(ts.Traces) == 0 {
+		return 0
+	}
+	min := len(ts.Traces[0])
+	for _, tr := range ts.Traces[1:] {
+		if len(tr) < min {
+			min = len(tr)
+		}
+	}
+	return min
+}
+
+// Pearson computes the correlation coefficient between the hypothesis
+// vector h (one value per trace) and the samples at point j.
+func (ts *TraceSet) Pearson(h []float64, j int) float64 {
+	n := float64(len(ts.Traces))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, syy, sxy float64
+	for i, tr := range ts.Traces {
+		x := h[i]
+		y := tr[j]
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	num := n*sxy - sx*sy
+	den := math.Sqrt(n*sxx-sx*sx) * math.Sqrt(n*syy-sy*sy)
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// MaxAbsPearson returns the largest |correlation| across all points for the
+// hypothesis vector h — the CPA distinguisher statistic.
+func (ts *TraceSet) MaxAbsPearson(h []float64) float64 {
+	best := 0.0
+	for j := 0; j < ts.Points(); j++ {
+		if r := math.Abs(ts.Pearson(h, j)); r > best {
+			best = r
+		}
+	}
+	return best
+}
+
+// DifferenceOfMeans partitions traces by the selector and returns the
+// maximum absolute difference of mean traces — Kocher's original DPA
+// distinguisher.
+func (ts *TraceSet) DifferenceOfMeans(selector func(i int) bool) float64 {
+	pts := ts.Points()
+	if pts == 0 {
+		return 0
+	}
+	sum0 := make([]float64, pts)
+	sum1 := make([]float64, pts)
+	var n0, n1 float64
+	for i, tr := range ts.Traces {
+		if selector(i) {
+			n1++
+			for j := 0; j < pts; j++ {
+				sum1[j] += tr[j]
+			}
+		} else {
+			n0++
+			for j := 0; j < pts; j++ {
+				sum0[j] += tr[j]
+			}
+		}
+	}
+	if n0 == 0 || n1 == 0 {
+		return 0
+	}
+	best := 0.0
+	for j := 0; j < pts; j++ {
+		d := math.Abs(sum1[j]/n1 - sum0[j]/n0)
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// MeanTrace returns the pointwise mean across the set.
+func (ts *TraceSet) MeanTrace() Trace {
+	pts := ts.Points()
+	out := make(Trace, pts)
+	for _, tr := range ts.Traces {
+		for j := 0; j < pts; j++ {
+			out[j] += tr[j]
+		}
+	}
+	for j := range out {
+		out[j] /= float64(len(ts.Traces))
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHammingWeight(t *testing.T) {
+	cases := map[uint32]float64{0: 0, 1: 1, 3: 2, 0xff: 8, 0xffffffff: 32, 0x80000001: 2}
+	for v, want := range cases {
+		if got := HW(v); got != want {
+			t.Errorf("HW(%#x) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestHammingWeightQuick(t *testing.T) {
+	// HW(a^b) == HD(a,b) and HW(a)+HW(b) >= HW(a|b).
+	f := func(a, b uint32) bool {
+		if HD(a, b) != HW(a^b) {
+			return false
+		}
+		return HW(a)+HW(b) >= HW(a|b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoiseStatistics(t *testing.T) {
+	n := NewNoise(2.0, 42)
+	var sum, sumSq float64
+	const N = 20000
+	for i := 0; i < N; i++ {
+		s := n.Sample()
+		sum += s
+		sumSq += s * s
+	}
+	mean := sum / N
+	std := math.Sqrt(sumSq/N - mean*mean)
+	if math.Abs(mean) > 0.1 {
+		t.Errorf("noise mean = %v", mean)
+	}
+	if math.Abs(std-2.0) > 0.1 {
+		t.Errorf("noise std = %v, want 2.0", std)
+	}
+	// Zero-sigma and nil noise are silent.
+	if (&Noise{}).Sample() != 0 {
+		t.Error("zero-sigma noise emitted")
+	}
+	var nilNoise *Noise
+	if nilNoise.Sample() != 0 {
+		t.Error("nil noise emitted")
+	}
+}
+
+func TestRecorderModels(t *testing.T) {
+	p := &Probe{Model: ModelHW, Gain: 1, Noise: NewNoise(0, 1)}
+	r := NewRecorder(p)
+	r.Leak(0xff)
+	r.Leak(0x0f)
+	if r.Samples[0] != 8 || r.Samples[1] != 4 {
+		t.Errorf("HW samples = %v", r.Samples)
+	}
+	p2 := &Probe{Model: ModelHD, Gain: 1, Noise: NewNoise(0, 1)}
+	r2 := NewRecorder(p2)
+	r2.Leak(0xff) // HD(0, ff) = 8
+	r2.Leak(0x0f) // HD(ff, 0f) = 4
+	if r2.Samples[0] != 8 || r2.Samples[1] != 4 {
+		t.Errorf("HD samples = %v", r2.Samples)
+	}
+	p3 := &Probe{Model: ModelIdentity, Gain: 2, Noise: NewNoise(0, 1)}
+	r3 := NewRecorder(p3)
+	r3.Leak(21)
+	if r3.Samples[0] != 42 {
+		t.Errorf("identity sample = %v", r3.Samples)
+	}
+}
+
+func TestJitterMisalignsTraces(t *testing.T) {
+	p := &Probe{Model: ModelHW, Gain: 1, Noise: NewNoise(0.1, 7), JitterMax: 3}
+	lens := map[int]bool{}
+	for i := 0; i < 20; i++ {
+		r := NewRecorder(p)
+		for k := 0; k < 10; k++ {
+			r.Leak(uint32(k))
+		}
+		lens[len(r.Samples)] = true
+	}
+	if len(lens) < 2 {
+		t.Error("jitter produced identical trace lengths")
+	}
+}
+
+func TestEMProbeWeakerThanPower(t *testing.T) {
+	pw := PowerProbe(0.5, 1)
+	em := EMProbe(0.5, 1)
+	if em.Gain >= pw.Gain {
+		t.Error("EM gain not weaker")
+	}
+	if em.Noise.Sigma <= pw.Noise.Sigma {
+		t.Error("EM noise not higher")
+	}
+}
+
+func TestPearsonCorrelation(t *testing.T) {
+	ts := &TraceSet{}
+	h := make([]float64, 50)
+	for i := 0; i < 50; i++ {
+		x := float64(i)
+		h[i] = x
+		// Point 0 perfectly correlated, point 1 anti-correlated, point 2
+		// constant.
+		ts.Add(Trace{2*x + 1, -x, 3}, nil)
+	}
+	if r := ts.Pearson(h, 0); math.Abs(r-1) > 1e-9 {
+		t.Errorf("corr at 0 = %v", r)
+	}
+	if r := ts.Pearson(h, 1); math.Abs(r+1) > 1e-9 {
+		t.Errorf("corr at 1 = %v", r)
+	}
+	if r := ts.Pearson(h, 2); r != 0 {
+		t.Errorf("corr at constant point = %v", r)
+	}
+	if m := ts.MaxAbsPearson(h); math.Abs(m-1) > 1e-9 {
+		t.Errorf("max |corr| = %v", m)
+	}
+}
+
+func TestDifferenceOfMeans(t *testing.T) {
+	ts := &TraceSet{}
+	for i := 0; i < 100; i++ {
+		base := 1.0
+		if i%2 == 0 {
+			base = 5.0 // group-dependent level at point 1
+		}
+		ts.Add(Trace{2.0, base}, nil)
+	}
+	d := ts.DifferenceOfMeans(func(i int) bool { return i%2 == 0 })
+	if math.Abs(d-4.0) > 1e-9 {
+		t.Errorf("DoM = %v, want 4", d)
+	}
+	// Degenerate partitions yield zero.
+	if ts.DifferenceOfMeans(func(i int) bool { return true }) != 0 {
+		t.Error("one-sided partition nonzero")
+	}
+}
+
+func TestTraceSetPointsRagged(t *testing.T) {
+	ts := &TraceSet{}
+	ts.Add(Trace{1, 2, 3}, nil)
+	ts.Add(Trace{4, 5}, nil)
+	if ts.Points() != 2 {
+		t.Errorf("points = %d", ts.Points())
+	}
+	mean := ts.MeanTrace()
+	if len(mean) != 2 || mean[0] != 2.5 || mean[1] != 3.5 {
+		t.Errorf("mean = %v", mean)
+	}
+}
+
+func TestEmptyTraceSet(t *testing.T) {
+	ts := &TraceSet{}
+	if ts.Points() != 0 || ts.Len() != 0 {
+		t.Error("empty set not empty")
+	}
+	if ts.DifferenceOfMeans(func(int) bool { return false }) != 0 {
+		t.Error("empty DoM nonzero")
+	}
+}

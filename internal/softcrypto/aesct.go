@@ -1,0 +1,75 @@
+package softcrypto
+
+// CTAES is a constant-time AES-128: the S-box is computed arithmetically
+// (GF(2^8) inversion by a fixed square-and-multiply chain plus the affine
+// transform) instead of by table lookup. With no key-dependent memory
+// accesses there is nothing for Evict+Time / Prime+Probe / Flush+Reload to
+// observe — the software countermeasure cited as [3] (Bernstein–Lange–
+// Schwabe) in the paper.
+type CTAES struct {
+	rk RoundKeys
+}
+
+// NewCTAES expands the key for constant-time encryption.
+func NewCTAES(key []byte) (*CTAES, error) {
+	rk, err := ExpandKey(key)
+	if err != nil {
+		return nil, err
+	}
+	return &CTAES{rk: rk}, nil
+}
+
+// ctInverse computes x^254 = x^-1 in GF(2^8) with a fixed multiplication
+// chain (no branches, no lookups).
+func ctInverse(x byte) byte {
+	// Addition chain for 254: x2=x^2, x4, x8, x16, x32, x64, x128;
+	// x^254 = x128 * x64 * x32 * x16 * x8 * x4 * x2.
+	x2 := gmul(x, x)
+	x4 := gmul(x2, x2)
+	x8 := gmul(x4, x4)
+	x16 := gmul(x8, x8)
+	x32 := gmul(x16, x16)
+	x64 := gmul(x32, x32)
+	x128 := gmul(x64, x64)
+	r := gmul(x128, x64)
+	r = gmul(r, x32)
+	r = gmul(r, x16)
+	r = gmul(r, x8)
+	r = gmul(r, x4)
+	r = gmul(r, x2)
+	return r
+}
+
+// ctSbox computes the AES S-box arithmetically: affine(inverse(x)).
+func ctSbox(x byte) byte {
+	inv := ctInverse(x)
+	// Affine transform: b ^ rot1(b) ^ rot2(b) ^ rot3(b) ^ rot4(b) ^ 0x63.
+	b := inv
+	r := b
+	for i := 1; i <= 4; i++ {
+		b = b<<1 | b>>7
+		r ^= b
+	}
+	return r ^ 0x63
+}
+
+// Encrypt performs one constant-time block encryption.
+func (c *CTAES) Encrypt(pt []byte) [16]byte {
+	var s [16]byte
+	copy(s[:], pt)
+	addRoundKey(&s, &c.rk[0])
+	for round := 1; round <= 9; round++ {
+		for i := range s {
+			s[i] = ctSbox(s[i])
+		}
+		shiftRows(&s)
+		mixColumns(&s)
+		addRoundKey(&s, &c.rk[round])
+	}
+	for i := range s {
+		s[i] = ctSbox(s[i])
+	}
+	shiftRows(&s)
+	addRoundKey(&s, &c.rk[10])
+	return s
+}

@@ -1,0 +1,104 @@
+package softcrypto
+
+// T-table AES: the classic high-performance software implementation whose
+// key-dependent table lookups are the target of the Section 4.1 cache
+// attacks (Osvik–Shamir–Tromer's Evict+Time and Prime+Probe, Yarom–
+// Falkner's Flush+Reload all attack exactly this structure).
+
+// tTables holds T0..T3 (rounds 1-9) built from the S-box at init.
+var tTables [4][256]uint32
+
+func init() {
+	for x := 0; x < 256; x++ {
+		s := sbox[x]
+		s2 := xtime(s)
+		s3 := s2 ^ s
+		// T0 entry: (2s, s, s, 3s) packed little-endian by row.
+		tTables[0][x] = uint32(s2) | uint32(s)<<8 | uint32(s)<<16 | uint32(s3)<<24
+		tTables[1][x] = uint32(s3) | uint32(s2)<<8 | uint32(s)<<16 | uint32(s)<<24
+		tTables[2][x] = uint32(s) | uint32(s3)<<8 | uint32(s2)<<16 | uint32(s)<<24
+		tTables[3][x] = uint32(s) | uint32(s)<<8 | uint32(s3)<<16 | uint32(s2)<<24
+	}
+}
+
+// MemHook observes each table lookup: which table (0-3 for T-tables, 4 for
+// the final-round S-box) and which index. Cache-attack harnesses map
+// (table, index) to a simulated cache access.
+type MemHook func(table int, index byte)
+
+// TableAES is an AES-128 encryptor using T-table lookups.
+type TableAES struct {
+	rk RoundKeys
+	// Hook observes every table access (may be nil).
+	Hook MemHook
+}
+
+// NewTableAES expands the key for table-based encryption.
+func NewTableAES(key []byte) (*TableAES, error) {
+	rk, err := ExpandKey(key)
+	if err != nil {
+		return nil, err
+	}
+	return &TableAES{rk: rk}, nil
+}
+
+func (t *TableAES) lookup(table int, idx byte) uint32 {
+	if t.Hook != nil {
+		t.Hook(table, idx)
+	}
+	return tTables[table][idx]
+}
+
+func (t *TableAES) sboxLookup(idx byte) byte {
+	if t.Hook != nil {
+		t.Hook(4, idx)
+	}
+	return sbox[idx]
+}
+
+// Encrypt performs one block encryption. The lookup pattern — four T-table
+// accesses per column per round indexed by key-XOR-data bytes — is the
+// side channel.
+func (t *TableAES) Encrypt(pt []byte) [16]byte {
+	var s [16]byte
+	copy(s[:], pt)
+	addRoundKey(&s, &t.rk[0])
+	for round := 1; round <= 9; round++ {
+		var out [16]byte
+		for c := 0; c < 4; c++ {
+			// Column c output combines T-lookups of the ShiftRows-selected
+			// input bytes: row r comes from column (c+r)%4.
+			v := t.lookup(0, s[4*c+0]) ^
+				t.lookup(1, s[4*((c+1)%4)+1]) ^
+				t.lookup(2, s[4*((c+2)%4)+2]) ^
+				t.lookup(3, s[4*((c+3)%4)+3])
+			out[4*c+0] = byte(v)
+			out[4*c+1] = byte(v >> 8)
+			out[4*c+2] = byte(v >> 16)
+			out[4*c+3] = byte(v >> 24)
+		}
+		s = out
+		addRoundKey(&s, &t.rk[round])
+	}
+	// Final round: S-box + ShiftRows + ARK (no MixColumns).
+	var out [16]byte
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			out[4*c+r] = t.sboxLookup(s[4*((c+r)%4)+r])
+		}
+	}
+	addRoundKey(&out, &t.rk[10])
+	return out
+}
+
+// FirstRoundIndices returns the 16 T-table indices of round 1 for a given
+// plaintext and key guess byte: index i uses table i%4 with index
+// pt[i]^k[i]. Cache attacks predict these to test key-byte hypotheses.
+func FirstRoundIndex(ptByte, keyByte byte) byte { return ptByte ^ keyByte }
+
+// TableEntries is the number of entries per T-table (for attacker
+// eviction-set geometry).
+const TableEntries = 256
+
+// TableEntryBytes is the size of one T-table entry in bytes.
+const TableEntryBytes = 4

@@ -1,0 +1,197 @@
+// Package intrust is the public facade of the intrust simulator: a full
+// reproduction of "In Hardware We Trust: Gains and Pains of
+// Hardware-assisted Security" (Batina, Jauernig, Mentens, Sadeghi, Stapf —
+// DAC 2019) as an executable system.
+//
+// The library spans the paper's whole spectrum:
+//
+//   - three platform classes (server/desktop, mobile, embedded) built on
+//     a simulated 32-bit CPU with caches, MMU/MPU, TrustZone-style worlds,
+//     branch prediction and transient execution;
+//   - the eight surveyed security architectures: Intel SGX, Sanctum, ARM
+//     TrustZone, Sanctuary, SMART, Sancus, TrustLite and TyTAN;
+//   - the attack families of Sections 4 and 5: cache side channels
+//     (Evict+Time, Prime+Probe, Flush+Reload, TLB, BTB), transient
+//     execution (Spectre, Meltdown, Foreshadow) and classical physical
+//     attacks (timing, DPA/CPA, EM, DFA, RSA-CRT faults, CLKSCREW);
+//   - the evaluation engine regenerating the paper's Figure 1 and its
+//     implicit comparison tables from measurement.
+//
+// See examples/ for runnable walkthroughs and cmd/intrust for the
+// experiment CLI.
+package intrust
+
+import (
+	"github.com/intrust-sim/intrust/internal/attack/cachesca"
+	"github.com/intrust-sim/intrust/internal/attack/physical"
+	"github.com/intrust-sim/intrust/internal/attack/transient"
+	"github.com/intrust-sim/intrust/internal/attest"
+	"github.com/intrust-sim/intrust/internal/core"
+	"github.com/intrust-sim/intrust/internal/cpu"
+	"github.com/intrust-sim/intrust/internal/isa"
+	"github.com/intrust-sim/intrust/internal/platform"
+	"github.com/intrust-sim/intrust/internal/power"
+	"github.com/intrust-sim/intrust/internal/tee"
+	"github.com/intrust-sim/intrust/internal/tee/sanctuary"
+	"github.com/intrust-sim/intrust/internal/tee/sanctum"
+	"github.com/intrust-sim/intrust/internal/tee/sancus"
+	"github.com/intrust-sim/intrust/internal/tee/sgx"
+	"github.com/intrust-sim/intrust/internal/tee/smart"
+	"github.com/intrust-sim/intrust/internal/tee/trustlite"
+	"github.com/intrust-sim/intrust/internal/tee/trustzone"
+	"github.com/intrust-sim/intrust/internal/tee/tytan"
+)
+
+// Platform and hardware types.
+type (
+	// Platform is one assembled machine (cores, caches, memory, DMA).
+	Platform = platform.Platform
+	// Features selects a core's microarchitectural behaviour.
+	Features = cpu.Features
+	// Program is an assembled HS-32 program.
+	Program = isa.Program
+)
+
+// Platform constructors for the three classes of Figure 1.
+var (
+	NewServerPlatform   = platform.NewServer
+	NewMobilePlatform   = platform.NewMobile
+	NewEmbeddedPlatform = platform.NewEmbedded
+)
+
+// Core feature presets.
+var (
+	HighEndFeatures  = cpu.HighEndFeatures
+	MobileFeatures   = cpu.MobileFeatures
+	EmbeddedFeatures = cpu.EmbeddedFeatures
+)
+
+// Assemble translates HS-32 assembly into a loadable program.
+var Assemble = isa.Assemble
+
+// MustAssemble is Assemble panicking on error (for fixed programs).
+var MustAssemble = isa.MustAssemble
+
+// TEE architecture layer.
+type (
+	// Architecture is a hardware-assisted security architecture instance.
+	Architecture = tee.Architecture
+	// Enclave is a unit of isolated execution.
+	Enclave = tee.Enclave
+	// EnclaveConfig describes an enclave to create.
+	EnclaveConfig = tee.EnclaveConfig
+	// Capabilities describes an architecture's mechanism set.
+	Capabilities = tee.Capabilities
+)
+
+// Architecture constructors (Section 3).
+var (
+	NewSGX       = sgx.New
+	NewSanctum   = sanctum.New
+	NewTrustZone = trustzone.New
+	NewSanctuary = sanctuary.New
+	NewSMART     = smart.New
+	NewSancus    = sancus.New
+	NewTrustLite = trustlite.New
+	NewTyTAN     = tytan.New
+)
+
+// Architecture probes backing the TAB2 matrix.
+var (
+	ProbeDMA      = tee.ProbeDMA
+	ProbeBusSnoop = tee.ProbeBusSnoop
+	ProbeOSAccess = tee.ProbeOSAccess
+)
+
+// Attestation and sealing.
+type (
+	// Measurement identifies code (SHA-256).
+	Measurement = attest.Measurement
+	// Report is a MAC-based local attestation report.
+	Report = attest.Report
+	// Quote is an ECDSA-signed remote attestation report.
+	Quote = attest.Quote
+	// Verifier checks reports and quotes with nonce freshness.
+	Verifier = attest.Verifier
+)
+
+// Attestation helpers.
+var (
+	Measure      = attest.Measure
+	NewVerifier  = attest.NewVerifier
+	VerifyReport = attest.VerifyReport
+	VerifyQuote  = attest.VerifyQuote
+	Seal         = attest.Seal
+	Unseal       = attest.Unseal
+)
+
+// Cache side-channel attacks (Section 4.1).
+type (
+	// CacheVictim is the T-table AES service under cache observation.
+	CacheVictim = cachesca.Victim
+	// CacheAttackResult reports recovered key material.
+	CacheAttackResult = cachesca.Result
+)
+
+// Cache attack entry points.
+var (
+	NewCacheVictim = cachesca.NewVictim
+	FlushReload    = cachesca.FlushReload
+	PrimeProbe     = cachesca.PrimeProbe
+	EvictTime      = cachesca.EvictTime
+	TLBAttack      = cachesca.TLBAttack
+	BranchShadow   = cachesca.BranchShadow
+)
+
+// Transient-execution attacks (Section 4.2).
+type (
+	// TransientResult reports extracted bytes.
+	TransientResult = transient.Result
+)
+
+// Transient attack entry points.
+var (
+	SpectreV1     = transient.SpectreV1
+	SpectreBTB    = transient.SpectreBTB
+	Ret2spec      = transient.Ret2spec
+	Meltdown      = transient.Meltdown
+	ForeshadowSGX = transient.ForeshadowSGX
+)
+
+// Classical physical attacks (Section 5).
+var (
+	CollectTimingSamples = physical.CollectTimingSamples
+	KocherTiming         = physical.KocherTiming
+	CollectTraces        = physical.CollectTraces
+	CPAKey               = physical.CPAKey
+	DPAKey               = physical.DPAKey
+	TracesToDisclosure   = physical.TracesToDisclosure
+	PiretQuisquater      = physical.PiretQuisquater
+	NewFaultOracle       = physical.NewFaultOracle
+	Bellcore             = physical.Bellcore
+	GlitchCampaign       = physical.GlitchCampaign
+	CLKSCREW             = physical.CLKSCREW
+)
+
+// Power probes for side-channel collection.
+var (
+	PowerProbe = power.PowerProbe
+	EMProbe    = power.EMProbe
+)
+
+// Evaluation engine: the paper's figure and tables, from measurement.
+type (
+	// EvalTable is a rendered comparison matrix.
+	EvalTable = core.Table
+	// Fig1Result is the regenerated Figure 1.
+	Fig1Result = core.Fig1Result
+)
+
+// Experiment entry points (see EXPERIMENTS.md for the index).
+var (
+	Figure1             = core.Figure1
+	Table2Architectures = core.Table2Architectures
+	Table3CacheSCA      = core.Table3CacheSCA
+	Table4Transient     = core.Table4Transient
+	Table5Physical      = core.Table5Physical
+)
