@@ -1,8 +1,10 @@
 package intrust
 
 import (
+	"context"
 	"math/rand"
 	"testing"
+	"time"
 
 	"github.com/intrust-sim/intrust/internal/attack/cachesca"
 	"github.com/intrust-sim/intrust/internal/attack/physical"
@@ -11,10 +13,73 @@ import (
 	"github.com/intrust-sim/intrust/internal/cache"
 	"github.com/intrust-sim/intrust/internal/core"
 	"github.com/intrust-sim/intrust/internal/cpu"
+	"github.com/intrust-sim/intrust/internal/engine"
 	"github.com/intrust-sim/intrust/internal/platform"
 	"github.com/intrust-sim/intrust/internal/power"
 	"github.com/intrust-sim/intrust/internal/softcrypto"
 )
+
+// ---------------------------------------------------------------------
+// Engine benchmarks: the same experiment cross-product at different
+// worker-pool sizes. ns/op at parallel-1 over ns/op at parallel-8 is the
+// realized wall-clock speedup — >= 2x expected on a multi-core machine,
+// since the sweep jobs are independent and CPU-bound. The serial/wall
+// metric (summed per-job durations over end-to-end wall clock) reports
+// the same ratio per run; note that on a single-core machine ns/op stays
+// flat and serial/wall only measures scheduling overlap, not speedup.
+// ---------------------------------------------------------------------
+
+// BenchmarkEngineSweep runs the full attack×architecture cross-product
+// through the engine at fixed pool sizes.
+func BenchmarkEngineSweep(b *testing.B) {
+	for _, par := range []int{1, 2, 8} {
+		b.Run("parallel-"+itoa(par), func(b *testing.B) {
+			exps, err := core.SweepExperiments(nil, nil, 96)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := engine.New(par)
+			var serial, wall int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				results, err := eng.Run(context.Background(), exps)
+				wall += time.Since(start).Nanoseconds()
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := range results {
+					serial += results[j].DurationNS
+				}
+			}
+			if wall > 0 {
+				b.ReportMetric(float64(serial)/float64(wall), "serial/wall-speedup")
+			}
+		})
+	}
+}
+
+// BenchmarkEngineCacheSCASweep fans the sweep's cachesca column (one
+// Prime+Probe experiment per architecture) out at pool sizes 1 and 8 —
+// a homogeneous-workload speedup comparison to complement the mixed
+// full-sweep benchmark above.
+func BenchmarkEngineCacheSCASweep(b *testing.B) {
+	for _, par := range []int{1, 8} {
+		b.Run("parallel-"+itoa(par), func(b *testing.B) {
+			exps, err := core.SweepExperiments(nil, []string{"cachesca"}, 200)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := engine.New(par)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(context.Background(), exps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // ---------------------------------------------------------------------
 // One benchmark per paper artifact: each regenerates the figure/table and

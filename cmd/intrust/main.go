@@ -1,18 +1,23 @@
 // Command intrust regenerates the paper's figure and comparison tables
-// from live experiments on the simulator.
+// from live experiments on the simulator, and sweeps the full
+// attack×architecture cross-product on the concurrent engine.
 //
 // Usage:
 //
 //	intrust [-quick] [fig1|arch|cachesca|transient|physical|all]
+//	intrust sweep [-arch a,b|all] [-attack a,b|all] [-samples N] [-parallel N] [-json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/intrust-sim/intrust/internal/core"
+	"github.com/intrust-sim/intrust/internal/engine"
 )
 
 func main() {
@@ -21,6 +26,9 @@ func main() {
 	what := "all"
 	if flag.NArg() > 0 {
 		what = flag.Arg(0)
+	}
+	if what == "sweep" {
+		os.Exit(runSweep(flag.Args()[1:]))
 	}
 	samples := 400
 	secretLen := 16
@@ -99,7 +107,58 @@ func main() {
 		})
 	}
 	if !any {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want fig1|arch|cachesca|transient|physical|all)\n", what)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want sweep|fig1|arch|cachesca|transient|physical|all)\n", what)
 		os.Exit(2)
 	}
+}
+
+// runSweep fans the attack×architecture cross-product out on the engine
+// worker pool and renders the results as text or JSON.
+func runSweep(args []string) int {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	archFlag := fs.String("arch", "all", "comma-separated architectures ("+strings.Join(core.AllArchitectures, ",")+") or all")
+	attackFlag := fs.String("attack", "all", "comma-separated attack families ("+strings.Join(core.AllAttackFamilies, ",")+") or all")
+	samples := fs.Int("samples", 256, "sample budget per experiment (traces, probe rounds)")
+	parallel := fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
+	jsonOut := fs.Bool("json", false, "emit the machine-readable engine report instead of the text table")
+	fs.Parse(args)
+
+	exps, err := core.SweepExperiments(splitList(*archFlag), splitList(*attackFlag), *samples)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		return 2
+	}
+	eng := engine.New(*parallel)
+	start := time.Now()
+	results, runErr := eng.Run(context.Background(), exps)
+	wall := time.Since(start)
+	if *jsonOut {
+		rep := engine.NewReport("intrust sweep", eng.Parallel, results, wall)
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			return 1
+		}
+	} else {
+		fmt.Print(core.SweepTable(results).String())
+		s := engine.Summarize(results, wall)
+		fmt.Printf("[%d experiments on %d workers in %v (serial cost %v); %s]\n",
+			s.Experiments, eng.Parallel, wall.Round(time.Millisecond),
+			time.Duration(s.TotalNS).Round(time.Millisecond),
+			strings.Join(s.VerdictList(), " "))
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", runErr)
+		return 1
+	}
+	return 0
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
 }

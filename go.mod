@@ -1,0 +1,3 @@
+module github.com/intrust-sim/intrust
+
+go 1.21

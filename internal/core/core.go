@@ -11,7 +11,12 @@
 //	TAB4 — transient-execution attacks vs configurations (Section 4.2)
 //	TAB5 — classical physical attacks vs countermeasures (Section 5)
 //
-// Every cell is traceable to an experiment run in this process.
+// Every cell is traceable to an experiment run in this process. Since the
+// engine rework, each cell is one engine.Experiment: the generators
+// enumerate their measurements and fan them out on internal/engine's
+// worker pool (deterministically seeded, so results are identical at any
+// parallelism), and the sweep in sweep.go exposes the full
+// attack×architecture cross-product to the CLI.
 package core
 
 import (

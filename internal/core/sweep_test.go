@@ -1,0 +1,128 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/intrust-sim/intrust/internal/engine"
+)
+
+func sweepResults(t *testing.T, parallel int) []engine.Result {
+	t.Helper()
+	exps, err := SweepExperiments(nil, nil, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := engine.New(parallel).Run(context.Background(), exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func stripTiming(rs []engine.Result) []engine.Result {
+	out := make([]engine.Result, len(rs))
+	for i, r := range rs {
+		r.DurationNS = 0
+		r.Run = nil
+		out[i] = r
+	}
+	return out
+}
+
+// TestSweepDeterministicAcrossParallelism is the end-to-end determinism
+// check on the real cross-product: same seeds, same measurements, no
+// matter the worker count.
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	serial := sweepResults(t, 1)
+	parallel := sweepResults(t, 8)
+	if !reflect.DeepEqual(stripTiming(serial), stripTiming(parallel)) {
+		t.Error("sweep results differ between -parallel 1 and -parallel 8")
+	}
+}
+
+func TestSweepCoversCrossProduct(t *testing.T) {
+	results := sweepResults(t, 0)
+	if want := len(AllArchitectures) * len(AllAttackFamilies); len(results) != want {
+		t.Fatalf("sweep produced %d results, want %d", len(results), want)
+	}
+	seen := map[string]bool{}
+	for i := range results {
+		seen[results[i].Attack+"/"+results[i].Arch] = true
+		if len(results[i].Rows) == 0 {
+			t.Errorf("%s emitted no table row", results[i].Name)
+		}
+	}
+	for _, attack := range AllAttackFamilies {
+		for _, arch := range AllArchitectures {
+			if !seen[attack+"/"+arch] {
+				t.Errorf("cross-product cell %s/%s missing", attack, arch)
+			}
+		}
+	}
+	// Paper shapes: embedded architectures have no cache side channels;
+	// SGX's EPC falls to Foreshadow; in-order cores block Spectre.
+	byName := map[string]*engine.Result{}
+	for i := range results {
+		byName[results[i].Name] = &results[i]
+	}
+	if v := byName["sweep/cachesca/sancus"].Verdict; v != "n/a" {
+		t.Errorf("embedded cachesca verdict = %q, want n/a", v)
+	}
+	if v := byName["sweep/transient/sgx"].Verdict; v != "LEAKS" {
+		t.Errorf("Foreshadow vs SGX = %q, want LEAKS", v)
+	}
+	if v := byName["sweep/transient/sancus"].Verdict; v != "blocked" {
+		t.Errorf("Spectre vs in-order embedded = %q, want blocked", v)
+	}
+	if v := byName["sweep/cachesca/sanctum"].Verdict; v != "defense holds" {
+		t.Errorf("prime+probe vs Sanctum partition = %q, want defense holds", v)
+	}
+}
+
+func TestSweepRejectsUnknownAxes(t *testing.T) {
+	if _, err := SweepExperiments([]string{"enigma"}, nil, 10); err == nil {
+		t.Error("unknown architecture accepted")
+	}
+	if _, err := SweepExperiments(nil, []string{"rowhammer"}, 10); err == nil {
+		t.Error("unknown attack family accepted")
+	}
+	exps, err := SweepExperiments([]string{"sgx", "sancus"}, []string{"transient"}, 10)
+	if err != nil || len(exps) != 2 {
+		t.Errorf("subset selection wrong: %d exps, err=%v", len(exps), err)
+	}
+}
+
+// TestSweepJSONReport checks the machine-readable output end to end:
+// run, serialize, parse, and find every cross-product cell again.
+func TestSweepJSONReport(t *testing.T) {
+	exps, err := SweepExperiments([]string{"sgx", "trustlite"}, nil, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(4)
+	results, err := eng.Run(context.Background(), exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := engine.NewReport("intrust sweep", eng.Parallel, results, 0).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := engine.ReadReport(&buf)
+	if err != nil {
+		t.Fatalf("sweep JSON does not parse: %v", err)
+	}
+	if rep.Summary.Experiments != 6 || len(rep.Results) != 6 {
+		t.Errorf("report covers %d/%d experiments, want 6", rep.Summary.Experiments, len(rep.Results))
+	}
+	rendered := SweepTable(results).String()
+	for _, want := range []string{"sgx", "trustlite", "cachesca", "transient", "physical"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("sweep table missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package engine is the concurrent experiment-orchestration subsystem:
+// it turns the evaluation's monolithic figure/table generators into
+// composable Experiment units executed by a worker pool.
+//
+// An Experiment names one measurement (platform class, architecture,
+// attack family, sample count) and carries a Run closure. The Engine
+// fans a slice of experiments out over GOMAXPROCS workers (or an explicit
+// parallelism), hands every job its own deterministically derived RNG —
+// so a sweep produces byte-identical results at -parallel 1 and
+// -parallel N — times each run, aggregates the outcomes in submission
+// order, and renders them either through the existing text tables or as
+// machine-readable JSON (see report.go).
+//
+// Every future scaling direction (sharding experiments across processes,
+// batching trace collection, multi-backend execution) plugs into this
+// seam: a scheduler that consumes []Experiment and produces []Result.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Experiment is one schedulable unit of measurement.
+type Experiment struct {
+	// Name uniquely identifies the experiment within a run; the per-job
+	// RNG seed is derived from it, so renaming an experiment re-rolls
+	// its noise while leaving every other job untouched.
+	Name string `json:"name"`
+	// Platform is the platform class under test (server, mobile,
+	// embedded), when meaningful.
+	Platform string `json:"platform,omitempty"`
+	// Arch is the security architecture under test, when meaningful.
+	Arch string `json:"arch,omitempty"`
+	// Attack is the attack family exercised (cachesca, transient,
+	// physical, probe), when meaningful.
+	Attack string `json:"attack,omitempty"`
+	// Samples is the sample budget (traces, timings, probe rounds)
+	// handed to the Run closure via Ctx.
+	Samples int `json:"samples,omitempty"`
+	// Seed is the base RNG seed; the job seed is Seed XOR FNV(Name).
+	Seed int64 `json:"seed,omitempty"`
+	// Run performs the measurement. It must draw all randomness from
+	// ctx.RNG (never the global source) so results are reproducible
+	// under any parallelism.
+	Run func(ctx *Ctx) (Outcome, error) `json:"-"`
+}
+
+// Ctx is the per-job execution context handed to an Experiment's Run.
+type Ctx struct {
+	// Context carries cancellation from Engine.Run.
+	Context context.Context
+	// RNG is the job-private deterministic random source.
+	RNG *rand.Rand
+	// Samples echoes Experiment.Samples.
+	Samples int
+	// Seed is the derived per-job seed (for APIs that take a seed
+	// rather than a *rand.Rand, e.g. physical.CLKSCREW).
+	Seed int64
+}
+
+// Outcome is what an Experiment measured.
+type Outcome struct {
+	// Rows are rendered table rows (zero or more) for the text
+	// renderers.
+	Rows [][]string `json:"rows,omitempty"`
+	// Metrics are named scalar measurements (bytes extracted, traces
+	// to disclosure, nibbles recovered, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Verdict is the experiment's one-word security conclusion
+	// (e.g. "LEAKS", "blocked", "n/a").
+	Verdict string `json:"verdict,omitempty"`
+	// Detail is a free-form basis note explaining the verdict.
+	Detail string `json:"detail,omitempty"`
+	// Payload carries structured results for callers that assemble
+	// richer artifacts (Figure 1 rows). It is JSON-encoded as-is.
+	Payload any `json:"payload,omitempty"`
+}
+
+// Result pairs an Experiment with its Outcome, timing, and error state.
+type Result struct {
+	Experiment
+	Outcome
+	// Err is the Run error, if any ("" on success).
+	Err string `json:"error,omitempty"`
+	// DurationNS is the wall-clock cost of this job in nanoseconds.
+	DurationNS int64 `json:"duration_ns"`
+}
+
+// Failed reports whether the experiment errored.
+func (r *Result) Failed() bool { return r.Err != "" }
+
+// Duration is DurationNS as a time.Duration.
+func (r *Result) Duration() time.Duration { return time.Duration(r.DurationNS) }
+
+// Engine executes experiments on a bounded worker pool.
+type Engine struct {
+	// Parallel is the worker count. New clamps it to >= 1.
+	Parallel int
+}
+
+// New returns an engine with the given parallelism; parallel <= 0 sizes
+// the pool to GOMAXPROCS.
+func New(parallel int) *Engine {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{Parallel: parallel}
+}
+
+// DeriveSeed computes the per-job seed: the experiment's base seed mixed
+// with an FNV-1a hash of its name. Depends only on (base, name), never on
+// scheduling order — the determinism guarantee under any parallelism.
+func DeriveSeed(base int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return base ^ int64(h.Sum64())
+}
+
+// Run executes all experiments and returns one Result per experiment, in
+// submission order regardless of completion order. A failing experiment
+// does not abort the others; the aggregate error (nil if none failed)
+// joins every failure in submission order. Context cancellation stops
+// unstarted jobs, marking them with the context error.
+func (e *Engine) Run(ctx context.Context, exps []Experiment) ([]Result, error) {
+	results := make([]Result, len(exps))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := e.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = runOne(ctx, exps[i])
+			}
+		}()
+	}
+feed:
+	for i := range exps {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			for j := i; j < len(exps); j++ {
+				results[j] = Result{Experiment: exps[j], Err: ctx.Err().Error()}
+			}
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	var failures []string
+	for i := range results {
+		if results[i].Failed() {
+			failures = append(failures, fmt.Sprintf("%s: %s", results[i].Name, results[i].Err))
+		}
+	}
+	if len(failures) > 0 {
+		return results, fmt.Errorf("%d/%d experiments failed: %s",
+			len(failures), len(exps), strings.Join(failures, "; "))
+	}
+	return results, nil
+}
+
+// runOne executes a single experiment with panic confinement, so one
+// misbehaving job reports as a failed Result instead of killing the pool.
+func runOne(ctx context.Context, exp Experiment) (res Result) {
+	res.Experiment = exp
+	seed := DeriveSeed(exp.Seed, exp.Name)
+	jctx := &Ctx{
+		Context: ctx,
+		RNG:     rand.New(rand.NewSource(seed)),
+		Samples: exp.Samples,
+		Seed:    seed,
+	}
+	start := time.Now()
+	defer func() {
+		res.DurationNS = time.Since(start).Nanoseconds()
+		if p := recover(); p != nil {
+			res.Err = fmt.Sprintf("panic: %v", p)
+		}
+	}()
+	if exp.Run == nil {
+		res.Err = "experiment has no Run function"
+		return res
+	}
+	out, err := exp.Run(jctx)
+	res.Outcome = out
+	if err != nil {
+		res.Err = err.Error()
+	}
+	return res
+}
+
+// Summary aggregates a run's results.
+type Summary struct {
+	Experiments int            `json:"experiments"`
+	Failed      int            `json:"failed"`
+	Verdicts    map[string]int `json:"verdicts,omitempty"`
+	// TotalNS is the summed per-job wall clock (the serial cost);
+	// WallNS is the observed end-to-end wall clock. Their ratio is the
+	// realized speedup.
+	TotalNS int64 `json:"total_ns"`
+	WallNS  int64 `json:"wall_ns,omitempty"`
+}
+
+// Summarize aggregates results; wall is the observed end-to-end duration
+// (pass 0 if unknown).
+func Summarize(results []Result, wall time.Duration) Summary {
+	s := Summary{Experiments: len(results), Verdicts: map[string]int{}, WallNS: wall.Nanoseconds()}
+	for i := range results {
+		s.TotalNS += results[i].DurationNS
+		if results[i].Failed() {
+			s.Failed++
+			continue
+		}
+		if v := results[i].Verdict; v != "" {
+			s.Verdicts[v]++
+		}
+	}
+	if len(s.Verdicts) == 0 {
+		s.Verdicts = nil
+	}
+	return s
+}
+
+// Verdicts returns the summary's verdict counts as sorted "verdict=N"
+// strings (for stable logging).
+func (s Summary) VerdictList() []string {
+	out := make([]string, 0, len(s.Verdicts))
+	for v, n := range s.Verdicts {
+		out = append(out, fmt.Sprintf("%s=%d", v, n))
+	}
+	sort.Strings(out)
+	return out
+}

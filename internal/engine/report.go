@@ -1,0 +1,46 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Report is the machine-readable artifact of an engine run: the summary
+// plus every per-experiment result, in submission order.
+type Report struct {
+	// Tool identifies the generator ("intrust sweep", "intrust tab3", ...).
+	Tool string `json:"tool"`
+	// Parallel is the worker-pool size the run used.
+	Parallel int      `json:"parallel"`
+	Summary  Summary  `json:"summary"`
+	Results  []Result `json:"results"`
+}
+
+// NewReport assembles a report from a finished run.
+func NewReport(tool string, parallel int, results []Result, wall time.Duration) *Report {
+	return &Report{
+		Tool:     tool,
+		Parallel: parallel,
+		Summary:  Summarize(results, wall),
+		Results:  results,
+	}
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a report previously written with WriteJSON. Payload
+// fields decode as generic JSON values (map/slice/float64/string).
+func ReadReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("decode report: %w", err)
+	}
+	return &rep, nil
+}

@@ -8,6 +8,9 @@
 // on: initiator (CPU core, DMA device, debug probe), privilege level,
 // TrustZone-style world, the issuing program counter (SMART and Sancus gate
 // on it) and a CPU-assigned security domain (enclave identity).
+//
+// See docs/ARCHITECTURE.md for the full package map and the
+// paper-section cross-reference.
 package mem
 
 import (

@@ -6,6 +6,9 @@
 // surface), TrustZone-style worlds and DVFS on mobile, and in-order
 // cacheless cores with MPUs on embedded devices (classical physical attack
 // surface, tight energy budget).
+//
+// See docs/ARCHITECTURE.md for the full package map and the
+// paper-section cross-reference.
 package platform
 
 import (

@@ -10,6 +10,9 @@
 // the statistical structure DPA/CPA consume, so countermeasure claims
 // (masking kills first-order correlation, hiding scales the trace budget)
 // can be reproduced quantitatively.
+//
+// See docs/ARCHITECTURE.md for the full package map and the
+// paper-section cross-reference.
 package power
 
 import (

@@ -11,6 +11,9 @@
 // cannot partition TrustZone's shared LLC, so enclave memory is excluded
 // from the shared caches entirely, and core-exclusive caches are flushed
 // on context switches.
+//
+// See docs/ARCHITECTURE.md for the full package map and the
+// paper-section cross-reference.
 package sanctuary
 
 import (

@@ -11,6 +11,9 @@
 //     cache colors no other domain uses, so cross-domain eviction sets
 //     cannot reach enclave lines,
 //   - core-exclusive caches are flushed on enclave context switches.
+//
+// See docs/ARCHITECTURE.md for the full package map and the
+// paper-section cross-reference.
 package sanctum
 
 import (

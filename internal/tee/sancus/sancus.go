@@ -12,6 +12,9 @@
 //
 // As in the paper, DMA adversaries are outside the threat model: the bus
 // arbiter checks apply to CPU masters only.
+//
+// See docs/ARCHITECTURE.md for the full package map and the
+// paper-section cross-reference.
 package sancus
 
 import (

@@ -7,6 +7,9 @@
 //
 // The TCB is the CPU plus "microcode": enclave management runs as Go code
 // below the architectural interface, matching SGX's microcode TCB.
+//
+// See docs/ARCHITECTURE.md for the full package map and the
+// paper-section cross-reference.
 package sgx
 
 import (

@@ -19,6 +19,9 @@
 // runs in an MMIO crypto engine that enforces the same PC-gate in
 // hardware. The control flow (interrupt disable, parameter marshalling,
 // cleanup, jump-to-destination) remains real HS-32 code in ROM.
+//
+// See docs/ARCHITECTURE.md for the full package map and the
+// paper-section cross-reference.
 package smart
 
 import (

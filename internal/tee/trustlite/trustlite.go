@@ -8,6 +8,9 @@
 // cleanup; finally the untrusted OS starts.
 //
 // Side channels and DMA remain outside the attacker model, as published.
+//
+// See docs/ARCHITECTURE.md for the full package map and the
+// paper-section cross-reference.
 package trustlite
 
 import (

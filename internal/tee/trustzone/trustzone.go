@@ -7,6 +7,9 @@
 // secure peripheral assignment. There is no cache partitioning and no
 // flush-on-switch — cache side channels into the secure world remain open
 // (TruSpy), as the paper notes.
+//
+// See docs/ARCHITECTURE.md for the full package map and the
+// paper-section cross-reference.
 package trustzone
 
 import (

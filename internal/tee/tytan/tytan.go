@@ -3,6 +3,9 @@
 // EA-MPU isolation it adds, per the paper, "secure boot and secure
 // storage", plus authenticated IPC and latency-bounded (interruptible)
 // attestation so hard deadlines survive security operations.
+//
+// See docs/ARCHITECTURE.md for the full package map and the
+// paper-section cross-reference.
 package tytan
 
 import (

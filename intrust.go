@@ -28,6 +28,7 @@ import (
 	"github.com/intrust-sim/intrust/internal/attest"
 	"github.com/intrust-sim/intrust/internal/core"
 	"github.com/intrust-sim/intrust/internal/cpu"
+	"github.com/intrust-sim/intrust/internal/engine"
 	"github.com/intrust-sim/intrust/internal/isa"
 	"github.com/intrust-sim/intrust/internal/platform"
 	"github.com/intrust-sim/intrust/internal/power"
@@ -194,4 +195,38 @@ var (
 	Table3CacheSCA      = core.Table3CacheSCA
 	Table4Transient     = core.Table4Transient
 	Table5Physical      = core.Table5Physical
+)
+
+// Concurrent experiment engine: composable experiments on a worker pool
+// with deterministic per-job seeding and JSON reporting.
+type (
+	// Experiment is one schedulable measurement unit.
+	Experiment = engine.Experiment
+	// ExperimentCtx is the per-job context (RNG, samples, seed).
+	ExperimentCtx = engine.Ctx
+	// ExperimentOutcome is what an experiment measured.
+	ExperimentOutcome = engine.Outcome
+	// ExperimentResult pairs an experiment with outcome, timing, error.
+	ExperimentResult = engine.Result
+	// Engine executes experiments on a bounded worker pool.
+	Engine = engine.Engine
+	// EngineReport is the machine-readable artifact of a run.
+	EngineReport = engine.Report
+)
+
+// Engine entry points.
+var (
+	NewEngine       = engine.New
+	NewEngineReport = engine.NewReport
+	ReadReport      = engine.ReadReport
+	Summarize       = engine.Summarize
+)
+
+// Sweep: the attack×architecture cross-product as engine experiments
+// (the `intrust sweep` CLI mode).
+var (
+	SweepExperiments  = core.SweepExperiments
+	SweepTable        = core.SweepTable
+	AllArchitectures  = core.AllArchitectures
+	AllAttackFamilies = core.AllAttackFamilies
 )
