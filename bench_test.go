@@ -29,6 +29,29 @@ import (
 // flat and serial/wall only measures scheduling overlap, not speedup.
 // ---------------------------------------------------------------------
 
+// BenchmarkSweep runs the full scenario-registry × architecture grid
+// (every registered scenario against all eight architectures) on the
+// default pool — the CI smoke for the redesigned sweep, and the headline
+// cell-count metric.
+func BenchmarkSweep(b *testing.B) {
+	exps, err := core.SweepExperiments(nil, nil, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := eng.Run(context.Background(), exps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) < 100 {
+			b.Fatalf("sweep covered %d cells, want >= 100", len(results))
+		}
+	}
+	b.ReportMetric(float64(len(exps)), "grid-cells")
+}
+
 // BenchmarkEngineSweep runs the full attack×architecture cross-product
 // through the engine at fixed pool sizes.
 func BenchmarkEngineSweep(b *testing.B) {

@@ -1,11 +1,16 @@
 // Command intrust regenerates the paper's figure and comparison tables
-// from live experiments on the simulator, and sweeps the full
-// attack×architecture cross-product on the concurrent engine.
+// from live experiments on the simulator, and sweeps the registered
+// attack scenarios against all architectures on the concurrent engine.
 //
 // Usage:
 //
 //	intrust [-quick] [fig1|arch|cachesca|transient|physical|all]
-//	intrust sweep [-arch a,b|all] [-attack a,b|all] [-samples N] [-parallel N] [-json]
+//	intrust sweep [-arch a,b|all] [-attack scenario|family,...|all] [-samples N] [-parallel N] [-json]
+//	intrust attacks [-family f] [-markdown] [-o file]
+//
+// The sweep's -attack flag accepts individual scenario names
+// ("flush+reload", "clkscrew") as well as family names ("cachesca"),
+// case-insensitively; `intrust attacks` lists the catalog.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 
 	"github.com/intrust-sim/intrust/internal/core"
 	"github.com/intrust-sim/intrust/internal/engine"
+	"github.com/intrust-sim/intrust/internal/scenario"
 )
 
 func main() {
@@ -29,6 +35,9 @@ func main() {
 	}
 	if what == "sweep" {
 		os.Exit(runSweep(flag.Args()[1:]))
+	}
+	if what == "attacks" {
+		os.Exit(runAttacks(flag.Args()[1:]))
 	}
 	samples := 400
 	secretLen := 16
@@ -107,9 +116,62 @@ func main() {
 		})
 	}
 	if !any {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want sweep|fig1|arch|cachesca|transient|physical|all)\n", what)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want sweep|attacks|fig1|arch|cachesca|transient|physical|all)\n", what)
 		os.Exit(2)
 	}
+}
+
+// runAttacks lists the attack-scenario catalog: name, family, paper
+// section, and the applicable architectures, straight from the registry.
+// -markdown emits the EXPERIMENTS.md index instead (the `go generate`
+// target), and -o redirects either rendering to a file.
+func runAttacks(args []string) int {
+	fs := flag.NewFlagSet("attacks", flag.ExitOnError)
+	family := fs.String("family", "", "restrict the listing to one family ("+strings.Join(core.AllAttackFamilies, "|")+")")
+	markdown := fs.Bool("markdown", false, "emit the EXPERIMENTS.md catalog index instead of the table")
+	outPath := fs.String("o", "", "write to this file instead of stdout")
+	fs.Parse(args)
+
+	var rendering string
+	if *markdown {
+		// The markdown rendering is the go:generate EXPERIMENTS.md
+		// artifact and always describes the whole catalog; a partial
+		// file carrying the generated-file header would lie.
+		if *family != "" {
+			fmt.Fprintln(os.Stderr, "attacks: -family cannot be combined with -markdown (the index always covers the full catalog)")
+			return 2
+		}
+		rendering = scenario.CatalogMarkdown(scenario.Default)
+	} else {
+		scens := scenario.All()
+		if *family != "" {
+			if scens = scenario.ByFamily(*family); len(scens) == 0 {
+				fmt.Fprintf(os.Stderr, "attacks: unknown family %q (want %s)\n", *family, strings.Join(scenario.Families(), "|"))
+				return 2
+			}
+		}
+		t := &core.Table{
+			Title:   fmt.Sprintf("ATTACKS — %d registered scenarios (sweep selects them by name or family)", len(scens)),
+			Columns: []string{"scenario", "family", "paper §", "applicable architectures"},
+		}
+		for _, s := range scens {
+			section, summary := scenario.DescriptionOf(s)
+			t.Rows = append(t.Rows, []string{s.Name(), s.Family(), section, scenario.ApplicableCell(s)})
+			if summary != "" {
+				t.Notes = append(t.Notes, s.Name()+": "+summary)
+			}
+		}
+		rendering = t.String()
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, []byte(rendering), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "attacks: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Print(rendering)
+	return 0
 }
 
 // runSweep fans the attack×architecture cross-product out on the engine
@@ -117,7 +179,7 @@ func main() {
 func runSweep(args []string) int {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	archFlag := fs.String("arch", "all", "comma-separated architectures ("+strings.Join(core.AllArchitectures, ",")+") or all")
-	attackFlag := fs.String("attack", "all", "comma-separated attack families ("+strings.Join(core.AllAttackFamilies, ",")+") or all")
+	attackFlag := fs.String("attack", "all", "comma-separated scenario or family names (see `intrust attacks`) or all")
 	samples := fs.Int("samples", 256, "sample budget per experiment (traces, probe rounds)")
 	parallel := fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
 	jsonOut := fs.Bool("json", false, "emit the machine-readable engine report instead of the text table")

@@ -1,0 +1,85 @@
+package intrust
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/intrust-sim/intrust/internal/scenario"
+)
+
+// TestExperimentsIndexInSync pins the generated EXPERIMENTS.md to the
+// live scenario registry: the doc reference in intrust.go must never go
+// stale again. Regenerate with `go generate ./...`.
+func TestExperimentsIndexInSync(t *testing.T) {
+	disk, err := os.ReadFile("EXPERIMENTS.md")
+	if err != nil {
+		t.Fatalf("EXPERIMENTS.md missing (run go generate ./...): %v", err)
+	}
+	want := scenario.CatalogMarkdown(scenario.Default)
+	if string(disk) != want {
+		t.Error("EXPERIMENTS.md is stale relative to the scenario registry: run `go generate ./...`")
+	}
+	// Sanity on content the catalog promises: every registered scenario
+	// appears by name.
+	for _, s := range AllScenarios() {
+		if !strings.Contains(string(disk), "`"+s.Name()+"`") {
+			t.Errorf("EXPERIMENTS.md does not mention scenario %q", s.Name())
+		}
+	}
+}
+
+// TestFacadeScenarioAPI exercises the redesigned surface exactly as a
+// downstream scheduler would: enumerate the catalog, look a scenario up,
+// build an environment, mount it.
+func TestFacadeScenarioAPI(t *testing.T) {
+	all := AllScenarios()
+	if len(all) < 15 {
+		t.Fatalf("catalog lists %d scenarios, want >= 15", len(all))
+	}
+	if got := len(ScenarioFamilies()); got != 3 {
+		t.Errorf("scenario families = %d, want 3", got)
+	}
+	s, ok := LookupScenario("spectre-v1")
+	if !ok {
+		t.Fatal("spectre-v1 not registered")
+	}
+	if ok, reason := s.Applicable("sancus"); !ok || reason != "" {
+		t.Errorf("spectre-v1 on sancus: applicable=%v reason=%q", ok, reason)
+	}
+	env, err := NewScenarioEnv("sancus", 8, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Mount(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != "blocked" {
+		t.Errorf("spectre-v1 on the in-order embedded core = %q, want blocked", out.Verdict)
+	}
+	// A custom registry accepts downstream scenarios without touching the
+	// default catalog.
+	reg := NewScenarioRegistry()
+	if err := reg.Register(&ScenarioSpec{
+		ID: "rowhammer", In: "physical",
+		Run: func(*ScenarioEnv) (ScenarioOutcome, error) { return ScenarioOutcome{Verdict: "n/a"}, nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := LookupScenario("rowhammer"); ok {
+		t.Error("custom registration leaked into the default catalog")
+	}
+}
+
+// TestFacadeSweepScale pins the acceptance floor of the redesign: the
+// default sweep enumerates at least 100 (scenario, architecture) cells.
+func TestFacadeSweepScale(t *testing.T) {
+	exps, err := SweepExperiments(nil, nil, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) < 100 {
+		t.Errorf("default sweep enumerates %d cells, want >= 100", len(exps))
+	}
+}

@@ -15,8 +15,10 @@
 // engine rework, each cell is one engine.Experiment: the generators
 // enumerate their measurements and fan them out on internal/engine's
 // worker pool (deterministically seeded, so results are identical at any
-// parallelism), and the sweep in sweep.go exposes the full
-// attack×architecture cross-product to the CLI.
+// parallelism). The sweep in sweep.go enumerates the internal/scenario
+// registry against every architecture — each registered attack variant
+// times each of the eight architectures, with not-applicable cells
+// reporting the paper's reason — and exposes the grid to the CLI.
 package core
 
 import (

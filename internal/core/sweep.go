@@ -4,46 +4,35 @@ import (
 	"fmt"
 	"strings"
 
-	"github.com/intrust-sim/intrust/internal/attack/cachesca"
-	"github.com/intrust-sim/intrust/internal/attack/physical"
-	"github.com/intrust-sim/intrust/internal/attack/transient"
-	"github.com/intrust-sim/intrust/internal/cache"
-	"github.com/intrust-sim/intrust/internal/cpu"
 	"github.com/intrust-sim/intrust/internal/engine"
-	"github.com/intrust-sim/intrust/internal/platform"
-	"github.com/intrust-sim/intrust/internal/power"
-	"github.com/intrust-sim/intrust/internal/tee/sgx"
+	"github.com/intrust-sim/intrust/internal/scenario"
 )
 
 // AllArchitectures lists the sweepable architecture keys in the paper's
 // Section 3 order (high-end to embedded).
-var AllArchitectures = []string{
-	"sgx", "sanctum", "trustzone", "sanctuary", "smart", "sancus", "trustlite", "tytan",
-}
+var AllArchitectures = scenario.Architectures
 
 // AllAttackFamilies lists the sweepable attack families: the paper's
 // Section 4.1 (cache side channels), Section 4.2 (transient execution)
 // and Section 5 (classical physical).
-var AllAttackFamilies = []string{"cachesca", "transient", "physical"}
+var AllAttackFamilies = scenario.FamilyOrder
 
-// archClass maps an architecture key to its platform class.
-var archClass = map[string]string{
-	"sgx": "server", "sanctum": "server",
-	"trustzone": "mobile", "sanctuary": "mobile",
-	"smart": "embedded", "sancus": "embedded", "trustlite": "embedded", "tytan": "embedded",
-}
-
-// SweepExperiments enumerates the attack×architecture cross-product as
-// engine jobs: for every requested (attack family, architecture) pair,
-// one experiment that mounts the family's representative attack against
-// the architecture's defense configuration. Empty or "all" selects the
-// full axis. Unknown names are an error.
+// SweepExperiments enumerates the scenario×architecture grid as engine
+// jobs: for every requested (scenario, architecture) pair, one experiment
+// that mounts the registered scenario against the architecture's defense
+// configuration — or reports the paper's reason when the scenario is not
+// applicable there (e.g. no shared caches on the embedded platforms).
+//
+// The attacks axis accepts scenario names ("flush+reload", "clkscrew"),
+// family names ("cachesca"), or any mix, case-insensitively; "all"
+// anywhere in either axis selects that full axis, as does an empty axis.
+// Unknown names are an error.
 func SweepExperiments(archs, attacks []string, samples int) ([]engine.Experiment, error) {
 	archs, err := expandAxis(archs, AllArchitectures, "architecture")
 	if err != nil {
 		return nil, err
 	}
-	attacks, err = expandAxis(attacks, AllAttackFamilies, "attack")
+	scens, err := expandScenarios(attacks)
 	if err != nil {
 		return nil, err
 	}
@@ -51,210 +40,160 @@ func SweepExperiments(archs, attacks []string, samples int) ([]engine.Experiment
 		samples = 256
 	}
 	var exps []engine.Experiment
-	for _, attack := range attacks {
+	for _, sc := range scens {
 		for _, arch := range archs {
-			exps = append(exps, sweepExperiment(attack, arch, samples))
+			exps = append(exps, sweepExperiment(sc, arch, samples))
 		}
 	}
 	return exps, nil
 }
 
+// expandAxis resolves one requested axis against its full set: empty
+// selects everything, "all" anywhere in the list selects everything (all
+// names are still validated), matching is case-insensitive, duplicates
+// collapse while preserving order — experiment names must stay unique
+// within a run (the engine's seeding contract keys on them).
 func expandAxis(req, all []string, what string) ([]string, error) {
-	if len(req) == 0 || (len(req) == 1 && req[0] == "all") {
-		return all, nil
-	}
-	valid := map[string]bool{}
+	canon := make(map[string]string, len(all))
 	for _, v := range all {
-		valid[v] = true
+		canon[strings.ToLower(v)] = v
 	}
-	// Deduplicate while preserving order: experiment names must stay
-	// unique within a run (the engine's seeding contract keys on them).
+	useAll := len(req) == 0
 	seen := map[string]bool{}
 	var out []string
 	for _, r := range req {
-		if !valid[r] {
+		tok := strings.ToLower(strings.TrimSpace(r))
+		if tok == "" {
+			continue
+		}
+		if tok == "all" {
+			useAll = true
+			continue
+		}
+		c, ok := canon[tok]
+		if !ok {
 			return nil, fmt.Errorf("unknown %s %q (want one of %s, or all)", what, r, strings.Join(all, "|"))
 		}
-		if !seen[r] {
-			seen[r] = true
-			out = append(out, r)
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
 		}
+	}
+	if useAll || len(out) == 0 {
+		return all, nil
 	}
 	return out, nil
 }
 
-// sweepExperiment builds the representative experiment for one
-// (attack family, architecture) cell of the cross-product.
-func sweepExperiment(attack, arch string, samples int) engine.Experiment {
-	// The Kocher timing attack needs a floor of timings to vote exponent
-	// bits reliably; apply it here so the Experiment's (and the JSON
-	// report's) Samples field states what the job actually runs.
-	if attack == "physical" && archClass[arch] == "server" && samples < 600 {
-		samples = 600
+// expandScenarios resolves the attacks axis against the scenario
+// registry: tokens may be family names (expanding to every scenario of
+// the family) or individual scenario names, case-insensitively; "all"
+// anywhere selects the whole registry. Duplicates collapse while
+// preserving selection order.
+func expandScenarios(req []string) ([]scenario.Scenario, error) {
+	families := map[string]bool{}
+	for _, f := range scenario.Families() {
+		families[strings.ToLower(f)] = true
+	}
+	useAll := len(req) == 0
+	seen := map[string]bool{}
+	var out []scenario.Scenario
+	add := func(s scenario.Scenario) {
+		if !seen[s.Name()] {
+			seen[s.Name()] = true
+			out = append(out, s)
+		}
+	}
+	for _, r := range req {
+		tok := strings.ToLower(strings.TrimSpace(r))
+		switch {
+		case tok == "":
+		case tok == "all":
+			useAll = true
+		case families[tok]:
+			for _, s := range scenario.ByFamily(tok) {
+				add(s)
+			}
+		default:
+			s, ok := scenario.Lookup(tok)
+			if !ok {
+				return nil, fmt.Errorf("unknown attack %q (want a family [%s], a scenario name from `intrust attacks`, or all)",
+					r, strings.Join(scenario.Families(), "|"))
+			}
+			add(s)
+		}
+	}
+	if useAll || len(out) == 0 {
+		return scenario.All(), nil
+	}
+	return out, nil
+}
+
+// sweepExperiment builds the engine job for one (scenario, architecture)
+// cell of the grid.
+func sweepExperiment(sc scenario.Scenario, arch string, samples int) engine.Experiment {
+	// Raise the budget to the scenario's declared floor so the
+	// Experiment's (and the JSON report's) Samples field states what the
+	// job actually runs.
+	if floor := scenario.MinSamplesOf(sc); samples < floor {
+		samples = floor
 	}
 	exp := engine.Experiment{
-		Name:     fmt.Sprintf("sweep/%s/%s", attack, arch),
-		Platform: archClass[arch],
+		Name:     fmt.Sprintf("sweep/%s/%s/%s", sc.Family(), sc.Name(), arch),
+		Platform: scenario.ClassOf(arch),
 		Arch:     arch,
-		Attack:   attack,
+		Attack:   sc.Family(),
 		Samples:  samples,
 	}
-	switch attack {
-	case "cachesca":
-		exp.Run = sweepCacheSCA(arch)
-	case "transient":
-		exp.Run = sweepTransient(arch)
-	case "physical":
-		exp.Run = sweepPhysical(arch)
+	if ok, reason := sc.Applicable(arch); !ok {
+		exp.Run = func(*engine.Ctx) (engine.Outcome, error) {
+			return engine.Outcome{
+				Rows:    scenario.Cell(sc.Name(), arch, "-", "n/a"),
+				Verdict: "n/a",
+				Detail:  reason,
+			}, nil
+		}
+		return exp
+	}
+	exp.Run = func(ctx *engine.Ctx) (engine.Outcome, error) {
+		env, err := scenario.NewEnv(arch, ctx.Samples, ctx.Seed, ctx.RNG)
+		if err != nil {
+			return engine.Outcome{}, err
+		}
+		return sc.Mount(env)
 	}
 	return exp
 }
 
-func sweepRow(attack, arch, cost, verdict string) [][]string {
-	return [][]string{{attack, arch, cost, verdict}}
-}
-
-// sweepCacheSCA mounts Prime+Probe against the architecture's cache
-// defense: none (SGX, TrustZone), LLC partitioning (Sanctum), exclusion
-// from shared levels (Sanctuary). Embedded architectures have no shared
-// caches, so the family is not applicable — exactly the paper's point
-// that "none [of the embedded architectures] even considers cache side
-// channels".
-func sweepCacheSCA(arch string) func(*engine.Ctx) (engine.Outcome, error) {
-	return func(ctx *engine.Ctx) (engine.Outcome, error) {
-		if archClass[arch] == "embedded" {
-			return engine.Outcome{
-				Rows:    sweepRow("cachesca", arch, "-", "n/a"),
-				Verdict: "n/a",
-				Detail:  "no shared caches on the embedded platform: cache side channels not applicable",
-			}, nil
-		}
-		key := []byte("sweep aes key 16")
-		p := platform.NewServer()
-		switch arch {
-		case "sanctum":
-			p.LLC.SetPartition(5, 0x00ff)
-			p.LLC.SetPartition(9, 0xff00)
-		case "sanctuary":
-			p.Core(0).Hier.Cacheability = func(addr uint32) cache.Level {
-				if addr >= 0x40000 && addr < 0x42000 {
-					return cache.LevelL1
-				}
-				return cache.LevelAll
-			}
-		}
-		v, err := cachesca.NewVictim(p.Core(0).Hier, key, 5, 0x40000)
-		if err != nil {
-			return engine.Outcome{}, err
-		}
-		res := cachesca.PrimeProbe(v, p.LLC, ctx.Samples, 9, ctx.RNG)
-		return engine.Outcome{
-			Rows:    sweepRow("cachesca", arch, fmt.Sprintf("%d nibbles / %d samples", res.NibblesCorrect, ctx.Samples), cacheVerdict(res)),
-			Metrics: map[string]float64{"key_nibbles": float64(res.NibblesCorrect)},
-			Verdict: cacheVerdict(res),
-			Detail:  "prime+probe vs the architecture's LLC defense",
-		}, nil
+// sweepScenarioName recovers the bare scenario name from an experiment
+// name of the form "sweep/<family>/<name>/<arch>", so error rows align
+// with the scenario column every successful row uses.
+func sweepScenarioName(expName string) string {
+	if parts := strings.Split(expName, "/"); len(parts) == 4 {
+		return parts[2]
 	}
-}
-
-// sweepTransient mounts the family's sharpest transient attack available
-// on the architecture: Foreshadow against SGX's EPC, Spectre v1 against
-// the other speculative platforms, and Spectre v1 on the in-order
-// embedded cores (expected blocked — no speculation window).
-func sweepTransient(arch string) func(*engine.Ctx) (engine.Outcome, error) {
-	return func(ctx *engine.Ctx) (engine.Outcome, error) {
-		if arch == "sgx" {
-			s, err := sgx.New(platform.NewServer())
-			if err != nil {
-				return engine.Outcome{}, err
-			}
-			r, err := transient.ForeshadowSGX(s, 8, false)
-			if err != nil {
-				return engine.Outcome{}, err
-			}
-			out := transientRow(r, arch)
-			out.Rows = sweepRow("transient", arch, fmt.Sprintf("foreshadow %d/%d bytes", r.Correct, len(r.Target)), out.Verdict)
-			out.Detail = "Foreshadow against the EPC (quoting-enclave key)"
-			return out, nil
-		}
-		secret := []byte("SWEEPSEC")
-		var feat cpu.Features
-		switch archClass[arch] {
-		case "server":
-			feat = cpu.HighEndFeatures()
-		case "mobile":
-			feat = cpu.MobileFeatures()
-		default:
-			feat = cpu.EmbeddedFeatures()
-		}
-		r, err := transient.SpectreV1(feat, secret, false)
-		if err != nil {
-			return engine.Outcome{}, err
-		}
-		out := transientRow(r, arch)
-		out.Rows = sweepRow("transient", arch, fmt.Sprintf("spectre-v1 %d/%d bytes", r.Correct, len(r.Target)), out.Verdict)
-		out.Detail = fmt.Sprintf("Spectre v1 on the %s-class core", archClass[arch])
-		return out, nil
-	}
-}
-
-// sweepPhysical mounts the platform class's signature physical attack:
-// remote timing (Kocher) against server-class RSA, CLKSCREW against the
-// mobile DVFS regulator, and close-proximity CPA against the embedded
-// device (the class the paper's Section 5 centers on).
-func sweepPhysical(arch string) func(*engine.Ctx) (engine.Outcome, error) {
-	return func(ctx *engine.Ctx) (engine.Outcome, error) {
-		switch archClass[arch] {
-		case "server":
-			ok := kocherRecovers(physical.CollectTimingSamples, ctx.Samples, ctx.RNG)
-			return engine.Outcome{
-				Rows:    sweepRow("physical", arch, fmt.Sprintf("timing, %d samples", ctx.Samples), leakIf(ok)),
-				Verdict: leakIf(ok),
-				Detail:  "Kocher timing attack on square-and-multiply RSA",
-			}, nil
-		case "mobile":
-			ck, err := physical.CLKSCREW(ctx.Seed)
-			if err != nil {
-				return engine.Outcome{}, err
-			}
-			return engine.Outcome{
-				Rows:    sweepRow("physical", arch, fmt.Sprintf("CLKSCREW OC to %d MHz", ck.OverclockMHz), leakIf(ck.Success)),
-				Metrics: map[string]float64{"invocations": float64(ck.Invocations)},
-				Verdict: leakIf(ck.Success),
-				Detail:  "CLKSCREW fault injection via the DVFS regulator",
-			}, nil
-		default:
-			key := []byte("sweep embd key16")
-			v, err := physical.NewUnprotectedAES(key)
-			if err != nil {
-				return engine.Outcome{}, err
-			}
-			ts := physical.CollectTraces(v, power.PowerProbe(0.8, 1), ctx.Samples, ctx.RNG)
-			got := physical.CorrectBytes(physical.CPAKey(ts), key)
-			return engine.Outcome{
-				Rows:    sweepRow("physical", arch, fmt.Sprintf("CPA %d/16 key bytes @ %d traces", got, ctx.Samples), leakIf(got >= 14)),
-				Metrics: map[string]float64{"key_bytes": float64(got)},
-				Verdict: leakIf(got >= 14),
-				Detail:  "close-proximity CPA on the device's AES",
-			}, nil
-		}
-	}
+	return expName
 }
 
 // SweepTable renders sweep results as the familiar ASCII matrix.
 func SweepTable(results []engine.Result) *Table {
 	t := &Table{
-		Title:   "SWEEP — attack families × architectures (one experiment per cell)",
-		Columns: []string{"attack", "architecture", "measurement", "verdict"},
+		Title:   "SWEEP — attack scenarios × architectures (one experiment per cell)",
+		Columns: []string{"scenario", "architecture", "measurement", "verdict"},
 	}
+	// The grid repeats most detail lines (one per architecture) and every
+	// n/a reason (one per excluded architecture); note each distinct line
+	// once, in first-appearance order.
+	noted := map[string]bool{}
 	for i := range results {
 		if results[i].Failed() {
-			t.Rows = append(t.Rows, []string{results[i].Attack, results[i].Arch, "-", "ERROR: " + results[i].Err})
+			t.Rows = append(t.Rows, []string{sweepScenarioName(results[i].Name), results[i].Arch, "-", "ERROR: " + results[i].Err})
 			continue
 		}
 		t.Rows = append(t.Rows, results[i].Rows...)
-		if d := results[i].Detail; d != "" {
-			t.Notes = append(t.Notes, fmt.Sprintf("%s/%s: %s", results[i].Attack, results[i].Arch, d))
+		if d := results[i].Detail; d != "" && !noted[d] {
+			noted[d] = true
+			t.Notes = append(t.Notes, d)
 		}
 	}
 	return t

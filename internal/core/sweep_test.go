@@ -8,11 +8,12 @@ import (
 	"testing"
 
 	"github.com/intrust-sim/intrust/internal/engine"
+	"github.com/intrust-sim/intrust/internal/scenario"
 )
 
 func sweepResults(t *testing.T, parallel int) []engine.Result {
 	t.Helper()
-	exps, err := SweepExperiments(nil, nil, 64)
+	exps, err := SweepExperiments(nil, nil, 48)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,8 +35,8 @@ func stripTiming(rs []engine.Result) []engine.Result {
 }
 
 // TestSweepDeterministicAcrossParallelism is the end-to-end determinism
-// check on the real cross-product: same seeds, same measurements, no
-// matter the worker count.
+// check on the full registry×architecture grid: same seeds, same
+// measurements, no matter the worker count.
 func TestSweepDeterministicAcrossParallelism(t *testing.T) {
 	serial := sweepResults(t, 1)
 	parallel := sweepResults(t, 8)
@@ -44,42 +45,129 @@ func TestSweepDeterministicAcrossParallelism(t *testing.T) {
 	}
 }
 
-func TestSweepCoversCrossProduct(t *testing.T) {
+// TestSweepCoversRegistryGrid pins the api_redesign's coverage claim:
+// the default sweep enumerates every registered scenario against every
+// architecture — at least 100 cells — and the paper's qualitative shapes
+// hold on the enlarged grid.
+func TestSweepCoversRegistryGrid(t *testing.T) {
 	results := sweepResults(t, 0)
-	if want := len(AllArchitectures) * len(AllAttackFamilies); len(results) != want {
+	nScen := len(scenario.All())
+	if nScen < 15 {
+		t.Fatalf("registry holds %d scenarios, want >= 15", nScen)
+	}
+	if want := nScen * len(AllArchitectures); len(results) != want {
 		t.Fatalf("sweep produced %d results, want %d", len(results), want)
 	}
-	seen := map[string]bool{}
+	if len(results) < 100 {
+		t.Fatalf("sweep covers %d cells, want >= 100", len(results))
+	}
+	byName := map[string]*engine.Result{}
 	for i := range results {
-		seen[results[i].Attack+"/"+results[i].Arch] = true
+		byName[results[i].Name] = &results[i]
 		if len(results[i].Rows) == 0 {
 			t.Errorf("%s emitted no table row", results[i].Name)
 		}
 	}
-	for _, attack := range AllAttackFamilies {
+	// Every registered scenario is reachable from SweepExperiments, on
+	// every architecture.
+	for _, sc := range scenario.All() {
 		for _, arch := range AllArchitectures {
-			if !seen[attack+"/"+arch] {
-				t.Errorf("cross-product cell %s/%s missing", attack, arch)
+			name := "sweep/" + sc.Family() + "/" + sc.Name() + "/" + arch
+			r, ok := byName[name]
+			if !ok {
+				t.Errorf("grid cell %s missing", name)
+				continue
+			}
+			// Applicability and the reported verdict must agree: cells
+			// the scenario declares n/a report n/a with the paper's
+			// reason, applicable cells measure something.
+			if applicable, reason := sc.Applicable(arch); !applicable {
+				if r.Verdict != "n/a" {
+					t.Errorf("%s: verdict %q for non-applicable cell", name, r.Verdict)
+				}
+				if r.Detail != reason || reason == "" {
+					t.Errorf("%s: n/a reason %q, want %q", name, r.Detail, reason)
+				}
+			} else if r.Verdict == "n/a" || r.Verdict == "" {
+				t.Errorf("%s: applicable cell reported verdict %q", name, r.Verdict)
 			}
 		}
 	}
 	// Paper shapes: embedded architectures have no cache side channels;
-	// SGX's EPC falls to Foreshadow; in-order cores block Spectre.
-	byName := map[string]*engine.Result{}
-	for i := range results {
-		byName[results[i].Name] = &results[i]
+	// SGX's EPC falls to Foreshadow; in-order cores block Spectre; the
+	// Sanctum partition holds against Prime+Probe; CLKSCREW is a mobile
+	// DVFS attack and recovers the TrustZone key.
+	for name, want := range map[string]string{
+		"sweep/cachesca/prime+probe/sancus":      "n/a",
+		"sweep/cachesca/flush+reload/sgx":        "ATTACK SUCCEEDS",
+		"sweep/cachesca/prime+probe/sanctum":     "defense holds",
+		"sweep/transient/foreshadow/sgx":         "LEAKS",
+		"sweep/transient/foreshadow/trustzone":   "n/a",
+		"sweep/transient/spectre-v1/sancus":      "blocked",
+		"sweep/transient/spectre-v1/sgx":         "LEAKS",
+		"sweep/transient/meltdown/trustlite":     "n/a",
+		"sweep/physical/clkscrew/trustzone":      "KEY RECOVERED",
+		"sweep/physical/clkscrew/sgx":            "n/a",
+		"sweep/physical/cpa/sancus":              "KEY RECOVERED",
+		"sweep/physical/kocher-timing/trustzone": "KEY RECOVERED",
+	} {
+		r, ok := byName[name]
+		if !ok {
+			t.Errorf("expected cell %s missing", name)
+			continue
+		}
+		if r.Verdict != want {
+			t.Errorf("%s verdict = %q, want %q", name, r.Verdict, want)
+		}
 	}
-	if v := byName["sweep/cachesca/sancus"].Verdict; v != "n/a" {
-		t.Errorf("embedded cachesca verdict = %q, want n/a", v)
+}
+
+// TestSweepSampleFloors checks that a scenario's declared minimum budget
+// is reflected in the enumerated experiment, not silently applied inside
+// the job.
+func TestSweepSampleFloors(t *testing.T) {
+	exps, err := SweepExperiments([]string{"sgx"}, []string{"kocher-timing", "cpa"}, 48)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if v := byName["sweep/transient/sgx"].Verdict; v != "LEAKS" {
-		t.Errorf("Foreshadow vs SGX = %q, want LEAKS", v)
+	bySuffix := map[string]int{}
+	for _, e := range exps {
+		parts := strings.Split(e.Name, "/")
+		bySuffix[parts[2]] = e.Samples
 	}
-	if v := byName["sweep/transient/sancus"].Verdict; v != "blocked" {
-		t.Errorf("Spectre vs in-order embedded = %q, want blocked", v)
+	if bySuffix["kocher-timing"] != 600 {
+		t.Errorf("kocher-timing samples = %d, want the 600 floor", bySuffix["kocher-timing"])
 	}
-	if v := byName["sweep/cachesca/sanctum"].Verdict; v != "defense holds" {
-		t.Errorf("prime+probe vs Sanctum partition = %q, want defense holds", v)
+	if bySuffix["cpa"] != 48 {
+		t.Errorf("cpa samples = %d, want the requested 48", bySuffix["cpa"])
+	}
+}
+
+func TestSweepAxisExpansion(t *testing.T) {
+	nScen := len(scenario.All())
+	// "all" is honored anywhere in the list, not only as the sole entry.
+	exps, err := SweepExperiments([]string{"sgx", "all"}, []string{"spectre-v1"}, 10)
+	if err != nil || len(exps) != len(AllArchitectures) {
+		t.Errorf(`["sgx","all"] expanded to %d experiments (err=%v), want %d`, len(exps), err, len(AllArchitectures))
+	}
+	exps, err = SweepExperiments([]string{"sgx"}, []string{"cachesca", "all"}, 10)
+	if err != nil || len(exps) != nScen {
+		t.Errorf(`attack ["cachesca","all"] expanded to %d experiments (err=%v), want %d`, len(exps), err, nScen)
+	}
+	// Axis matching is case-insensitive for architectures, families and
+	// scenario names.
+	exps, err = SweepExperiments([]string{"SGX", "Sancus"}, []string{"Physical", "Flush+Reload"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScen := len(scenario.ByFamily("physical")) + 1
+	if len(exps) != wantScen*2 {
+		t.Errorf("case-insensitive mixed selection produced %d experiments, want %d", len(exps), wantScen*2)
+	}
+	// Family + member variant dedupes; duplicates collapse.
+	exps, err = SweepExperiments([]string{"sgx", "sgx"}, []string{"cachesca", "prime+probe"}, 10)
+	if err != nil || len(exps) != len(scenario.ByFamily("cachesca")) {
+		t.Errorf("dedup selection produced %d experiments (err=%v)", len(exps), err)
 	}
 }
 
@@ -88,18 +176,22 @@ func TestSweepRejectsUnknownAxes(t *testing.T) {
 		t.Error("unknown architecture accepted")
 	}
 	if _, err := SweepExperiments(nil, []string{"rowhammer"}, 10); err == nil {
-		t.Error("unknown attack family accepted")
+		t.Error("unknown attack accepted")
 	}
-	exps, err := SweepExperiments([]string{"sgx", "sancus"}, []string{"transient"}, 10)
+	// Unknown names are rejected even when "all" appears alongside them.
+	if _, err := SweepExperiments([]string{"all", "enigma"}, nil, 10); err == nil {
+		t.Error("unknown architecture accepted when riding along with all")
+	}
+	exps, err := SweepExperiments([]string{"sgx", "sancus"}, []string{"meltdown"}, 10)
 	if err != nil || len(exps) != 2 {
 		t.Errorf("subset selection wrong: %d exps, err=%v", len(exps), err)
 	}
 }
 
 // TestSweepJSONReport checks the machine-readable output end to end:
-// run, serialize, parse, and find every cross-product cell again.
+// run, serialize, parse, and find every grid cell again.
 func TestSweepJSONReport(t *testing.T) {
-	exps, err := SweepExperiments([]string{"sgx", "trustlite"}, nil, 32)
+	exps, err := SweepExperiments([]string{"sgx", "trustlite"}, []string{"transient"}, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,13 +208,14 @@ func TestSweepJSONReport(t *testing.T) {
 	if err != nil {
 		t.Fatalf("sweep JSON does not parse: %v", err)
 	}
-	if rep.Summary.Experiments != 6 || len(rep.Results) != 6 {
-		t.Errorf("report covers %d/%d experiments, want 6", rep.Summary.Experiments, len(rep.Results))
+	want := len(scenario.ByFamily("transient")) * 2
+	if rep.Summary.Experiments != want || len(rep.Results) != want {
+		t.Errorf("report covers %d/%d experiments, want %d", rep.Summary.Experiments, len(rep.Results), want)
 	}
 	rendered := SweepTable(results).String()
-	for _, want := range []string{"sgx", "trustlite", "cachesca", "transient", "physical"} {
-		if !strings.Contains(rendered, want) {
-			t.Errorf("sweep table missing %q", want)
+	for _, wantStr := range []string{"sgx", "trustlite", "spectre-v1", "foreshadow", "meltdown"} {
+		if !strings.Contains(rendered, wantStr) {
+			t.Errorf("sweep table missing %q", wantStr)
 		}
 	}
 }

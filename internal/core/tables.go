@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math/big"
-	"math/rand"
 
 	"github.com/intrust-sim/intrust/internal/attack/cachesca"
 	"github.com/intrust-sim/intrust/internal/attack/physical"
@@ -16,6 +15,7 @@ import (
 	"github.com/intrust-sim/intrust/internal/isa"
 	"github.com/intrust-sim/intrust/internal/platform"
 	"github.com/intrust-sim/intrust/internal/power"
+	"github.com/intrust-sim/intrust/internal/scenario"
 	"github.com/intrust-sim/intrust/internal/softcrypto"
 	"github.com/intrust-sim/intrust/internal/tee"
 	"github.com/intrust-sim/intrust/internal/tee/sanctuary"
@@ -263,17 +263,9 @@ func Table2Architectures() (*Table, error) {
 		"SMART has no enclave: isolation probes not applicable; its PC-gated attestation is exercised in TAB5/examples")
 }
 
-// cacheVerdict grades a cache-attack result against the classic OST
-// 64-bit-reduction threshold.
-func cacheVerdict(res cachesca.Result) string {
-	switch {
-	case res.Success:
-		return "ATTACK SUCCEEDS"
-	case res.NibblesCorrect >= 4:
-		return "partial leak"
-	}
-	return "defense holds"
-}
+// cacheVerdict grades a cache-attack result with the scenario layer's
+// shared grader, so TAB3 and sweep verdicts can never drift apart.
+var cacheVerdict = scenario.CacheVerdict
 
 func cacheRow(attack, defense string, res cachesca.Result) engine.Outcome {
 	return engine.Outcome{
@@ -376,12 +368,10 @@ func Table3CacheSCA(samples int) (*Table, error) {
 		"embedded architectures have no shared caches: attacks not applicable (paper: 'none ... even considers cache side channels')")
 }
 
-// transientRow grades one transient-execution result.
+// transientRow grades one transient-execution result with the scenario
+// layer's shared grader.
 func transientRow(res transient.Result, config string) engine.Outcome {
-	verdict := "blocked"
-	if res.Correct > len(res.Target)/2 {
-		verdict = "LEAKS"
-	}
+	verdict := scenario.TransientVerdict(res)
 	return engine.Outcome{
 		Rows:    [][]string{{res.Attack, config, fmt.Sprintf("%d/%d", res.Correct, len(res.Target)), verdict}},
 		Metrics: map[string]float64{"bytes_extracted": float64(res.Correct)},
@@ -460,17 +450,10 @@ func Table4Transient(secretLen int) (*Table, error) {
 		"the Foreshadow rows extract the platform's ECDSA attestation scalar from the quoting enclave's EPC memory")
 }
 
-// kocherRecovers mounts the Kocher timing attack with the given sample
-// collector (square-and-multiply vs Montgomery ladder) on the shared
-// 61-bit modexp victim and reports whether the exponent was recovered
-// from n timings. TAB5 and the sweep's server-class physical cell both
-// measure exactly this.
-func kocherRecovers(collect func(exp, mod *big.Int, n int, rng *rand.Rand) []physical.TimingSample, n int, rng *rand.Rand) bool {
-	mod := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 61), big.NewInt(1))
-	exp := big.NewInt(0xB6D5)
-	rec := physical.KocherTiming(collect(exp, mod, n, rng), mod, exp.BitLen())
-	return rec.Cmp(exp) == 0
-}
+// kocherRecovers is the scenario layer's shared Kocher victim (61-bit
+// modexp, fixed exponent): TAB5 and the sweep's kocher-timing cells
+// measure the same attack by construction.
+var kocherRecovers = scenario.KocherRecovers
 
 // table5Experiments enumerates the Section 5 attack×countermeasure pairs.
 func table5Experiments(quick bool) []engine.Experiment {
@@ -660,9 +643,6 @@ func Table5Physical(quick bool) (*Table, error) {
 		"CLKSCREW needs no access-control violation: only the kernel-reachable DVFS regulator")
 }
 
-func leakIf(b bool) string {
-	if b {
-		return "KEY RECOVERED"
-	}
-	return "blocked"
-}
+// leakIf is the physical suite's verdict convention, shared with the
+// scenario layer.
+var leakIf = scenario.LeakIf

@@ -1,0 +1,150 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/intrust-sim/intrust/internal/attack/cachesca"
+	"github.com/intrust-sim/intrust/internal/cache"
+	"github.com/intrust-sim/intrust/internal/cpu"
+	"github.com/intrust-sim/intrust/internal/platform"
+	"github.com/intrust-sim/intrust/internal/tee/sgx"
+)
+
+// Architectures lists the sweepable architecture keys in the paper's
+// Section 3 order (high-end to embedded).
+var Architectures = []string{
+	"sgx", "sanctum", "trustzone", "sanctuary", "smart", "sancus", "trustlite", "tytan",
+}
+
+// Platform classes as used in applicability reasoning and experiment
+// metadata.
+const (
+	ClassServer   = "server"
+	ClassMobile   = "mobile"
+	ClassEmbedded = "embedded"
+)
+
+// archClass maps an architecture key to its platform class.
+var archClass = map[string]string{
+	"sgx": ClassServer, "sanctum": ClassServer,
+	"trustzone": ClassMobile, "sanctuary": ClassMobile,
+	"smart": ClassEmbedded, "sancus": ClassEmbedded, "trustlite": ClassEmbedded, "tytan": ClassEmbedded,
+}
+
+// ClassOf returns an architecture's platform class, or "" for unknown
+// architectures.
+func ClassOf(arch string) string { return archClass[arch] }
+
+// KnownArchitecture reports whether arch is one of the eight surveyed
+// architectures.
+func KnownArchitecture(arch string) bool { return archClass[arch] != "" }
+
+// Shared victim geometry: the T-table AES victim lives in domain 5 with
+// its tables at 0x40000; the cache attacker observes from domain 9.
+const (
+	VictimDomain    = 5
+	AttackerDomain  = 9
+	VictimTableBase = 0x40000
+)
+
+// VictimKey returns the AES key every sweep victim is provisioned with —
+// fixed so recovery can be graded.
+func VictimKey() []byte { return []byte("sweep aes key 16") }
+
+// Env is the typed environment every scenario mounts from. It packages
+// what the bespoke attack signatures used to demand ad hoc: the target
+// architecture and its platform class, the matching CPU feature set,
+// victim constructors wired to the architecture's defense configuration,
+// the per-job deterministic RNG and seed, and the sample budget.
+type Env struct {
+	// Arch is the target architecture key (one of Architectures).
+	Arch string
+	// Class is the architecture's platform class (ClassServer,
+	// ClassMobile or ClassEmbedded).
+	Class string
+	// Samples is the sample budget (traces, timings, probe rounds).
+	Samples int
+	// Seed is the job's derived seed, for APIs that take a seed rather
+	// than a *rand.Rand (e.g. physical.CLKSCREW).
+	Seed int64
+	// RNG is the job-private deterministic random source. Scenarios
+	// must draw all randomness from it (never the global source).
+	RNG *rand.Rand
+}
+
+// NewEnv builds the environment for one (architecture, job) pair. A nil
+// rng is derived from seed; samples <= 0 defaults to 256.
+func NewEnv(arch string, samples int, seed int64, rng *rand.Rand) (*Env, error) {
+	class := ClassOf(arch)
+	if class == "" {
+		return nil, fmt.Errorf("scenario: unknown architecture %q", arch)
+	}
+	if samples <= 0 {
+		samples = 256
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(seed))
+	}
+	return &Env{Arch: arch, Class: class, Samples: samples, Seed: seed, RNG: rng}, nil
+}
+
+// Features returns the CPU feature set of the environment's platform
+// class.
+func (e *Env) Features() cpu.Features {
+	switch e.Class {
+	case ClassServer:
+		return cpu.HighEndFeatures()
+	case ClassMobile:
+		return cpu.MobileFeatures()
+	default:
+		return cpu.EmbeddedFeatures()
+	}
+}
+
+// NewPlatform assembles a fresh platform of the architecture's class with
+// the architecture's cache defense applied: LLC way-partitioning between
+// the victim and attacker domains on Sanctum, exclusion of the victim
+// table range from shared cache levels on Sanctuary, and no cache defense
+// on SGX or TrustZone — exactly the paper's Section 4.1 defense matrix.
+func (e *Env) NewPlatform() *platform.Platform {
+	var p *platform.Platform
+	switch e.Class {
+	case ClassServer:
+		p = platform.NewServer()
+	case ClassMobile:
+		p = platform.NewMobile()
+	default:
+		return platform.NewEmbedded()
+	}
+	switch e.Arch {
+	case "sanctum":
+		p.LLC.SetPartition(VictimDomain, 0x00ff)
+		p.LLC.SetPartition(AttackerDomain, 0xff00)
+	case "sanctuary":
+		p.Core(0).Hier.Cacheability = func(addr uint32) cache.Level {
+			if addr >= VictimTableBase && addr < VictimTableBase+0x2000 {
+				return cache.LevelL1
+			}
+			return cache.LevelAll
+		}
+	}
+	return p
+}
+
+// AESVictim places the standard T-table AES victim on the platform (at
+// VictimTableBase, tagged VictimDomain) so cache scenarios observe it
+// through whatever defense NewPlatform configured.
+func (e *Env) AESVictim(p *platform.Platform) (*cachesca.Victim, error) {
+	return cachesca.NewVictim(p.Core(0).Hier, VictimKey(), VictimDomain, VictimTableBase)
+}
+
+// SGX builds the SGX instance for scenarios that target the EPC
+// (Foreshadow). It errors on any other architecture — callers should have
+// reported n/a through Applicable instead.
+func (e *Env) SGX() (*sgx.SGX, error) {
+	if e.Arch != "sgx" {
+		return nil, fmt.Errorf("scenario: SGX instance requested for architecture %q", e.Arch)
+	}
+	return sgx.New(platform.NewServer())
+}

@@ -1,0 +1,124 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// familyHeading maps a family key to its catalog heading.
+func familyHeading(family string) string {
+	switch family {
+	case FamilyCacheSCA:
+		return "Cache side channels (paper §4.1) — family `cachesca`"
+	case FamilyTransient:
+		return "Transient execution (paper §4.2) — family `transient`"
+	case FamilyPhysical:
+		return "Classical physical attacks (paper §5) — family `physical`"
+	}
+	return "Family `" + family + "`"
+}
+
+// ApplicableArchitectures splits the architecture axis for one scenario:
+// the architectures it can be mounted on, and the not-applicable ones
+// with their reasons.
+func ApplicableArchitectures(s Scenario) (applicable []string, na map[string]string) {
+	na = map[string]string{}
+	for _, arch := range Architectures {
+		if ok, reason := s.Applicable(arch); ok {
+			applicable = append(applicable, arch)
+		} else {
+			na[arch] = reason
+		}
+	}
+	return applicable, na
+}
+
+// ApplicableCell renders a scenario's architecture axis as one catalog
+// cell — "all N" or the comma-separated applicable list. The CLI table
+// and EXPERIMENTS.md share this so their renderings cannot diverge.
+func ApplicableCell(s Scenario) string {
+	applicable, na := ApplicableArchitectures(s)
+	if len(na) == 0 {
+		return fmt.Sprintf("all %d", len(Architectures))
+	}
+	return strings.Join(applicable, ", ")
+}
+
+// CatalogMarkdown renders the registry as the EXPERIMENTS.md index:
+// the CLI-mode table for the paper's fixed artifacts, then one table per
+// scenario family with name, paper section, summary and the applicable
+// architectures. Regenerate with `go generate ./...`.
+func CatalogMarkdown(r *Registry) string {
+	var b strings.Builder
+	b.WriteString(`# EXPERIMENTS — index of everything intrust can measure
+
+<!-- Generated from the scenario registry by 'go generate ./...'
+     (cmd/intrust attacks -markdown -o EXPERIMENTS.md). Do not edit by hand. -->
+
+Two kinds of experiments exist:
+
+1. **Paper artifacts** — fixed enumerations that regenerate the paper's
+   figure and comparison tables (one CLI mode each).
+2. **Attack scenarios** — the self-registering catalog in
+   ` + "`internal/scenario`" + `, swept against all eight architectures by
+   ` + "`intrust sweep`" + ` and listed by ` + "`intrust attacks`" + `.
+
+## Paper artifacts
+
+| Artifact | CLI mode | Facade entry point | Paper section |
+|---|---|---|---|
+| Figure 1 adversary/requirement heatmap | ` + "`intrust fig1`" + ` | ` + "`Figure1`" + ` | §2 |
+| TAB2 architecture feature matrix | ` + "`intrust arch`" + ` | ` + "`Table2Architectures`" + ` | §3 |
+| TAB3 cache attacks vs defenses | ` + "`intrust cachesca`" + ` | ` + "`Table3CacheSCA`" + ` | §4.1 |
+| TAB4 transient attacks vs configurations | ` + "`intrust transient`" + ` | ` + "`Table4Transient`" + ` | §4.2 |
+| TAB5 physical attacks vs countermeasures | ` + "`intrust physical`" + ` | ` + "`Table5Physical`" + ` | §5 |
+| Scenario × architecture sweep | ` + "`intrust sweep`" + ` | ` + "`SweepExperiments`" + ` | §3–§5 |
+
+## Attack-scenario catalog
+
+`)
+	fmt.Fprintf(&b, "%d scenarios over %d architectures — %d grid cells per full sweep.\n",
+		r.Len(), len(Architectures), r.Len()*len(Architectures))
+	for _, family := range r.Families() {
+		b.WriteString("\n### " + familyHeading(family) + "\n\n")
+		b.WriteString("| Scenario | Paper § | What it mounts | Applicable architectures |\n")
+		b.WriteString("|---|---|---|---|\n")
+		var notes []string
+		for _, s := range r.ByFamily(family) {
+			section, summary := DescriptionOf(s)
+			if section == "" {
+				section = "—"
+			}
+			// One representative n/a reason per scenario keeps the
+			// table readable; the sweep reports the reason per cell.
+			if _, na := ApplicableArchitectures(s); len(na) > 0 {
+				for _, arch := range Architectures {
+					if reason, ok := na[arch]; ok {
+						notes = append(notes, fmt.Sprintf("`%s` n/a elsewhere: %s", s.Name(), reason))
+						break
+					}
+				}
+			}
+			fmt.Fprintf(&b, "| `%s` | %s | %s | %s |\n", s.Name(), section, summary, ApplicableCell(s))
+		}
+		for _, n := range notes {
+			b.WriteString("\n> " + n + "\n")
+		}
+	}
+	b.WriteString(`
+## Running the catalog
+
+` + "```console" + `
+$ go run ./cmd/intrust attacks                      # this catalog, as a table
+$ go run ./cmd/intrust sweep                        # every (scenario, architecture) cell
+$ go run ./cmd/intrust sweep -attack flush+reload   # one scenario across all architectures
+$ go run ./cmd/intrust sweep -attack cachesca,clkscrew -arch trustzone,sanctuary
+` + "```" + `
+
+` + "`-attack`" + ` accepts scenario names and family names, case-insensitively,
+in any mix; ` + "`all`" + ` anywhere in either axis selects the full axis.
+Not-applicable cells are reported with the paper's reason (e.g. no shared
+caches on embedded platforms) rather than silently skipped.
+`)
+	return b.String()
+}

@@ -1,0 +1,182 @@
+package scenario
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"github.com/intrust-sim/intrust/internal/attack/physical"
+	"github.com/intrust-sim/intrust/internal/power"
+	"github.com/intrust-sim/intrust/internal/softcrypto"
+)
+
+// The Section 5 classical physical suite. Physical attacks assume an
+// adversary with (at least) proximity to the device, which the paper
+// grants on every platform class — with the exception of CLKSCREW, whose
+// attack surface is the software-exposed DVFS regulator of mobile SoCs.
+
+func init() {
+	for _, s := range physicalScenarios() {
+		MustRegister(s)
+	}
+}
+
+// mobileOnlyDVFS gates CLKSCREW on the architectures whose platform
+// exposes a software-reachable DVFS regulator.
+func mobileOnlyDVFS(arch string) (bool, string) {
+	if ClassOf(arch) != ClassMobile {
+		return false, "no software-exposed DVFS regulator on the " + ClassOf(arch) +
+			" platform: CLKSCREW's attack surface is the mobile SoC's frequency/voltage interface"
+	}
+	return true, ""
+}
+
+// LeakIf is the physical suite's verdict convention, shared with TAB5.
+func LeakIf(b bool) string {
+	if b {
+		return "KEY RECOVERED"
+	}
+	return "blocked"
+}
+
+// KocherRecovers mounts the Kocher timing attack with the given sample
+// collector (square-and-multiply vs Montgomery ladder) on the shared
+// 61-bit modexp victim and reports whether the exponent was recovered
+// from n timings. TAB5 and the sweep's kocher-timing scenario measure
+// exactly this, from this one definition, so their victims cannot drift
+// apart.
+func KocherRecovers(collect func(exp, mod *big.Int, n int, rng *rand.Rand) []physical.TimingSample, n int, rng *rand.Rand) bool {
+	mod := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 61), big.NewInt(1))
+	exp := big.NewInt(0xB6D5)
+	rec := physical.KocherTiming(collect(exp, mod, n, rng), mod, exp.BitLen())
+	return rec.Cmp(exp) == 0
+}
+
+func physicalScenarios() []Scenario {
+	return []Scenario{
+		&Spec{
+			ID: "kocher-timing", In: FamilyPhysical, Section: "5",
+			Summary: "Kocher timing attack on square-and-multiply RSA; needs >= 600 timings to vote exponent bits",
+			// The bit-voting needs a floor of timings to be reliable;
+			// the sweep raises the cell's budget to it.
+			Floor: 600,
+			Run: func(env *Env) (Outcome, error) {
+				ok := KocherRecovers(physical.CollectTimingSamples, env.Samples, env.RNG)
+				return Outcome{
+					Rows:    Cell("kocher-timing", env.Arch, fmt.Sprintf("%d timings", env.Samples), LeakIf(ok)),
+					Verdict: LeakIf(ok),
+					Detail:  "Kocher timing attack on square-and-multiply RSA",
+				}, nil
+			},
+		},
+		&Spec{
+			ID: "dpa", In: FamilyPhysical, Section: "5",
+			Summary: "Differential power analysis (difference of means) on unprotected AES traces",
+			// The difference-of-means statistic needs far more traces
+			// than CPA's correlation to separate the key hypotheses.
+			Floor: 1500,
+			Run: func(env *Env) (Outcome, error) {
+				v, err := physical.NewUnprotectedAES(VictimKey())
+				if err != nil {
+					return Outcome{}, err
+				}
+				ts := physical.CollectTraces(v, power.PowerProbe(0.5, 1), env.Samples, env.RNG)
+				got := physical.CorrectBytes(physical.DPAKey(ts), VictimKey())
+				return Outcome{
+					Rows:    Cell("dpa", env.Arch, fmt.Sprintf("%d/16 key bytes @ %d traces", got, env.Samples), LeakIf(got >= 14)),
+					Metrics: map[string]float64{"key_bytes": float64(got)},
+					Verdict: LeakIf(got >= 14),
+					Detail:  "difference-of-means DPA on the device's AES power traces",
+				}, nil
+			},
+		},
+		&Spec{
+			ID: "cpa", In: FamilyPhysical, Section: "5",
+			Summary: "Correlation power analysis (Pearson, Hamming-weight model) on unprotected AES traces",
+			Run: func(env *Env) (Outcome, error) {
+				v, err := physical.NewUnprotectedAES(VictimKey())
+				if err != nil {
+					return Outcome{}, err
+				}
+				ts := physical.CollectTraces(v, power.PowerProbe(0.8, 1), env.Samples, env.RNG)
+				got := physical.CorrectBytes(physical.CPAKey(ts), VictimKey())
+				return Outcome{
+					Rows:    Cell("cpa", env.Arch, fmt.Sprintf("%d/16 key bytes @ %d traces", got, env.Samples), LeakIf(got >= 14)),
+					Metrics: map[string]float64{"key_bytes": float64(got)},
+					Verdict: LeakIf(got >= 14),
+					Detail:  "close-proximity CPA on the device's AES",
+				}, nil
+			},
+		},
+		&Spec{
+			ID: "dfa-piret-quisquater", In: FamilyPhysical, Section: "5",
+			Summary: "Piret-Quisquater differential fault attack: full AES key from a handful of faulty ciphertexts",
+			Run: func(env *Env) (Outcome, error) {
+				oracle, err := physical.NewFaultOracle(VictimKey())
+				if err != nil {
+					return Outcome{}, err
+				}
+				got, faults, err := physical.PiretQuisquater(oracle, 2)
+				if err != nil {
+					return Outcome{}, err
+				}
+				ok := physical.CorrectBytes(got, VictimKey()) == 16
+				return Outcome{
+					Rows:    Cell("dfa-piret-quisquater", env.Arch, fmt.Sprintf("%d faulty ciphertexts", faults), LeakIf(ok)),
+					Metrics: map[string]float64{"faulty_ciphertexts": float64(faults)},
+					Verdict: LeakIf(ok),
+					Detail:  "round-9 fault injection and differential analysis on the device's AES",
+				}, nil
+			},
+		},
+		&Spec{
+			ID: "bellcore", In: FamilyPhysical, Section: "5",
+			Summary: "Bellcore RSA-CRT fault attack: one faulty half-exponentiation factors the modulus",
+			Run: func(env *Env) (Outcome, error) {
+				// Deterministic keygen from the job RNG — crypto/rsa's
+				// generator defeats reproducibility on purpose.
+				rsaKey, err := softcrypto.GenerateRSAFrom(env.RNG, 512)
+				if err != nil {
+					return Outcome{}, err
+				}
+				msg := big.NewInt(0xFEEDC0FFEE)
+				good := rsaKey.SignCRT(msg, nil)
+				bad := rsaKey.SignCRT(msg, &softcrypto.CRTFault{Half: 0, XORMask: 2})
+				_, _, ok := physical.Bellcore(rsaKey.N, good, bad)
+				return Outcome{
+					Rows:    Cell("bellcore", env.Arch, "1 faulty signature", LeakIf(ok)),
+					Verdict: LeakIf(ok),
+					Detail:  "gcd of (good - bad) signatures with the modulus factors it",
+				}, nil
+			},
+		},
+		&Spec{
+			ID: "clkscrew", In: FamilyPhysical, Section: "5",
+			Summary: "CLKSCREW: overclock via the kernel-reachable DVFS regulator to fault the TrustZone secure world",
+			Applies: mobileOnlyDVFS,
+			Run: func(env *Env) (Outcome, error) {
+				// An unlucky fault batch can leave the campaign's DFA
+				// ambiguous; like a real attacker, collect a fresh batch
+				// (deterministically derived from the job seed) and retry.
+				var ck *physical.CLKSCREWResult
+				var err error
+				for attempt := int64(0); attempt < 8; attempt++ {
+					ck, err = physical.CLKSCREW(env.Seed + attempt*0x9E3779B9)
+					if err == nil {
+						break
+					}
+				}
+				if err != nil {
+					return Outcome{}, err
+				}
+				return Outcome{
+					Rows: Cell("clkscrew", env.Arch,
+						fmt.Sprintf("OC to %d MHz, %d invocations", ck.OverclockMHz, ck.Invocations), LeakIf(ck.Success)),
+					Metrics: map[string]float64{"overclock_mhz": float64(ck.OverclockMHz), "invocations": float64(ck.Invocations)},
+					Verdict: LeakIf(ck.Success),
+					Detail:  "CLKSCREW fault injection via the DVFS regulator",
+				}, nil
+			},
+		},
+	}
+}

@@ -1,0 +1,159 @@
+// Package scenario is the unified attack-scenario API: every attack
+// variant the simulator can mount — the Section 4.1 cache side channels,
+// the Section 4.2 transient-execution attacks and the Section 5 classical
+// physical attacks — is a first-class, enumerable, engine-schedulable
+// Scenario registered in a process-wide catalog.
+//
+// Before this layer existed, each attack was a bespoke free function with
+// its own signature (victim here, RNG there, sample budget somewhere
+// else) and the sweep could only drive three hand-picked "representative"
+// families through a hardcoded switch. A Scenario instead mounts from a
+// uniform typed Env (architecture, platform class, CPU features, victim
+// constructors, per-job RNG, sample budget), declares which architectures
+// it applies to — with the paper's reason when it does not — and
+// self-registers at init time, so internal/core's sweep enumerates the
+// full registry × architecture grid without knowing any attack by name.
+//
+// The catalog files (cachesca.go, transient.go, physical.go) wrap the
+// attack implementations in internal/attack/*; adding a new attack is one
+// Spec literal plus a Register call.
+package scenario
+
+import (
+	"fmt"
+
+	"github.com/intrust-sim/intrust/internal/engine"
+)
+
+// Family names, in the paper's section order. Registry ordering and the
+// sweep's family axis both follow this ranking.
+const (
+	// FamilyCacheSCA is the Section 4.1 software cache side channels.
+	FamilyCacheSCA = "cachesca"
+	// FamilyTransient is the Section 4.2 transient-execution attacks.
+	FamilyTransient = "transient"
+	// FamilyPhysical is the Section 5 classical physical attacks.
+	FamilyPhysical = "physical"
+)
+
+// FamilyOrder lists the scenario families in the paper's section order
+// (§4.1, §4.2, §5) — the deterministic ordering used by Registry.All.
+var FamilyOrder = []string{FamilyCacheSCA, FamilyTransient, FamilyPhysical}
+
+// Outcome is what a mounted scenario measured. It is the engine's outcome
+// type: scenarios feed the experiment scheduler directly, so the table
+// rows, metrics, verdict and detail carry through to the text tables and
+// the JSON report unchanged.
+type Outcome = engine.Outcome
+
+// Scenario is one attack variant as a schedulable unit.
+type Scenario interface {
+	// Name uniquely identifies the scenario in the registry
+	// (e.g. "flush+reload", "spectre-v1", "clkscrew").
+	Name() string
+	// Family is the attack family the scenario belongs to (one of
+	// FamilyCacheSCA, FamilyTransient, FamilyPhysical).
+	Family() string
+	// Applicable reports whether the scenario can be meaningfully
+	// mounted against the given architecture; when it cannot, reason
+	// states why in the paper's terms (e.g. "no shared caches on the
+	// embedded platform").
+	Applicable(arch string) (ok bool, reason string)
+	// Mount runs the attack from the typed environment and reports what
+	// it measured. Implementations must draw all randomness from
+	// env.RNG / env.Seed so results are deterministic under any
+	// engine parallelism.
+	Mount(env *Env) (Outcome, error)
+}
+
+// Sampler is an optional Scenario extension declaring a minimum sample
+// budget; the sweep raises a cell's budget to this floor so the reported
+// Samples field states what the job actually ran.
+type Sampler interface {
+	MinSamples() int
+}
+
+// Describer is an optional Scenario extension providing catalog metadata
+// for `intrust attacks` and the generated EXPERIMENTS.md.
+type Describer interface {
+	// Describe returns the paper section the scenario reproduces
+	// (e.g. "4.1") and a one-line summary of what it mounts.
+	Describe() (section, summary string)
+}
+
+// Spec is the standard Scenario implementation: a declarative record
+// wrapping a mount function. All catalog scenarios are Specs, and
+// downstream users can register their own.
+type Spec struct {
+	// ID is the unique scenario name.
+	ID string
+	// In is the scenario's family.
+	In string
+	// Section is the paper section reproduced (e.g. "4.1").
+	Section string
+	// Summary is a one-line description for the catalog listing.
+	Summary string
+	// Floor is the minimum meaningful sample budget (0 = any).
+	Floor int
+	// Applies decides per-architecture applicability; nil means the
+	// scenario applies to every known architecture.
+	Applies func(arch string) (bool, string)
+	// Run mounts the attack.
+	Run func(env *Env) (Outcome, error)
+}
+
+// Name implements Scenario.
+func (s *Spec) Name() string { return s.ID }
+
+// Family implements Scenario.
+func (s *Spec) Family() string { return s.In }
+
+// Applicable implements Scenario. Unknown architectures are never
+// applicable.
+func (s *Spec) Applicable(arch string) (bool, string) {
+	if !KnownArchitecture(arch) {
+		return false, fmt.Sprintf("unknown architecture %q", arch)
+	}
+	if s.Applies == nil {
+		return true, ""
+	}
+	return s.Applies(arch)
+}
+
+// Mount implements Scenario.
+func (s *Spec) Mount(env *Env) (Outcome, error) {
+	if s.Run == nil {
+		return Outcome{}, fmt.Errorf("scenario %s has no mount function", s.ID)
+	}
+	return s.Run(env)
+}
+
+// MinSamples implements Sampler.
+func (s *Spec) MinSamples() int { return s.Floor }
+
+// Describe implements Describer.
+func (s *Spec) Describe() (string, string) { return s.Section, s.Summary }
+
+// Cell renders the sweep's canonical single table row for a scenario
+// outcome: scenario name, architecture, measurement, verdict.
+func Cell(name, arch, measurement, verdict string) [][]string {
+	return [][]string{{name, arch, measurement, verdict}}
+}
+
+// MinSamplesOf returns the scenario's declared sample floor, or 0 when it
+// declares none.
+func MinSamplesOf(s Scenario) int {
+	if ms, ok := s.(Sampler); ok {
+		return ms.MinSamples()
+	}
+	return 0
+}
+
+// DescriptionOf returns the scenario's paper section and summary, or
+// empty strings when it provides none.
+func DescriptionOf(s Scenario) (section, summary string) {
+	if d, ok := s.(Describer); ok {
+		return d.Describe()
+	}
+	return "", ""
+}

@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"crypto/rsa"
 	"fmt"
+	"io"
 	"math/big"
 )
 
@@ -124,6 +125,71 @@ func GenerateRSA(bits int) (*RSAKey, error) {
 		DQ:   new(big.Int).Mod(k.D, qm1),
 		QInv: new(big.Int).ModInverse(q, p),
 	}, nil
+}
+
+// primeFrom draws random odd candidates of exactly the given bit length
+// from r until one passes ProbablyPrime. Unlike crypto/rand.Prime it
+// consumes nothing but the reader's bytes (and ProbablyPrime is
+// deterministic for a given input), so the result is reproducible for a
+// deterministic reader.
+func primeFrom(r io.Reader, bits int) (*big.Int, error) {
+	buf := make([]byte, (bits+7)/8)
+	p := new(big.Int)
+	for {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("softcrypto: prime candidate: %w", err)
+		}
+		p.SetBytes(buf)
+		// Trim to size, then force the top bit (full bit length) and the
+		// low bit (odd).
+		p.SetBit(p, bits, 0)
+		for b := p.BitLen(); b > bits; b = p.BitLen() {
+			p.SetBit(p, b-1, 0)
+		}
+		p.SetBit(p, bits-1, 1)
+		p.SetBit(p, 0, 1)
+		if p.ProbablyPrime(32) {
+			return new(big.Int).Set(p), nil
+		}
+	}
+}
+
+// GenerateRSAFrom creates an RSA key of the given bit size drawing all
+// randomness from r, and is deterministic for a deterministic reader —
+// unlike crypto/rsa.GenerateKey and crypto/rand.Prime, which both
+// intentionally defeat deterministic use. Experiment victims use it with
+// the engine's per-job RNG so results are reproducible under any
+// parallelism.
+func GenerateRSAFrom(r io.Reader, bits int) (*RSAKey, error) {
+	e := big.NewInt(65537)
+	one := big.NewInt(1)
+	for {
+		p, err := primeFrom(r, bits/2)
+		if err != nil {
+			return nil, err
+		}
+		q, err := primeFrom(r, bits-bits/2)
+		if err != nil {
+			return nil, err
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		phi := new(big.Int).Mul(pm1, qm1)
+		d := new(big.Int).ModInverse(e, phi)
+		if d == nil {
+			continue // gcd(e, phi) != 1: re-draw the primes
+		}
+		return &RSAKey{
+			N: new(big.Int).Mul(p, q), E: new(big.Int).Set(e), D: d,
+			P: p, Q: q,
+			DP:   new(big.Int).Mod(d, pm1),
+			DQ:   new(big.Int).Mod(d, qm1),
+			QInv: new(big.Int).ModInverse(q, p),
+		}, nil
+	}
 }
 
 // CRTFault lets a fault campaign corrupt one of the two half

@@ -17,9 +17,16 @@
 //   - the evaluation engine regenerating the paper's Figure 1 and its
 //     implicit comparison tables from measurement.
 //
+// Every attack variant is also a registered Scenario in the
+// internal/scenario catalog (re-exported below), mountable against any
+// architecture from one typed environment; see EXPERIMENTS.md for the
+// generated index.
+//
 // See examples/ for runnable walkthroughs and cmd/intrust for the
 // experiment CLI.
 package intrust
+
+//go:generate go run ./cmd/intrust attacks -markdown -o EXPERIMENTS.md
 
 import (
 	"github.com/intrust-sim/intrust/internal/attack/cachesca"
@@ -32,6 +39,7 @@ import (
 	"github.com/intrust-sim/intrust/internal/isa"
 	"github.com/intrust-sim/intrust/internal/platform"
 	"github.com/intrust-sim/intrust/internal/power"
+	"github.com/intrust-sim/intrust/internal/scenario"
 	"github.com/intrust-sim/intrust/internal/tee"
 	"github.com/intrust-sim/intrust/internal/tee/sanctuary"
 	"github.com/intrust-sim/intrust/internal/tee/sanctum"
@@ -188,13 +196,46 @@ type (
 	Fig1Result = core.Fig1Result
 )
 
-// Experiment entry points (see EXPERIMENTS.md for the index).
+// Experiment entry points (see the generated EXPERIMENTS.md for the
+// full index of artifacts and scenarios).
 var (
 	Figure1             = core.Figure1
 	Table2Architectures = core.Table2Architectures
 	Table3CacheSCA      = core.Table3CacheSCA
 	Table4Transient     = core.Table4Transient
 	Table5Physical      = core.Table5Physical
+)
+
+// Unified attack-scenario API: every attack variant is a self-registered
+// Scenario in a process-wide catalog, mountable against any architecture
+// from one typed environment. The bespoke per-attack functions above
+// (FlushReload, SpectreV1, CPAKey, ...) remain supported; the scenario
+// layer is how the sweep, the CLI catalog and downstream schedulers
+// enumerate them uniformly.
+type (
+	// Scenario is one attack variant as an enumerable, schedulable unit.
+	Scenario = scenario.Scenario
+	// ScenarioSpec is the declarative Scenario implementation used by
+	// the built-in catalog (and available for custom registrations).
+	ScenarioSpec = scenario.Spec
+	// ScenarioEnv is the typed environment a scenario mounts from.
+	ScenarioEnv = scenario.Env
+	// ScenarioOutcome is what a mounted scenario measured.
+	ScenarioOutcome = scenario.Outcome
+	// ScenarioRegistry is a concurrency-safe scenario catalog.
+	ScenarioRegistry = scenario.Registry
+)
+
+// Scenario registry entry points (the default process-wide catalog).
+var (
+	RegisterScenario        = scenario.Register
+	LookupScenario          = scenario.Lookup
+	AllScenarios            = scenario.All
+	ScenariosByFamily       = scenario.ByFamily
+	ScenarioFamilies        = scenario.Families
+	NewScenarioEnv          = scenario.NewEnv
+	NewScenarioRegistry     = scenario.NewRegistry
+	ScenarioCatalogMarkdown = scenario.CatalogMarkdown
 )
 
 // Concurrent experiment engine: composable experiments on a worker pool
