@@ -34,7 +34,7 @@ import (
 // default pool — the CI smoke for the redesigned sweep, and the headline
 // cell-count metric.
 func BenchmarkSweep(b *testing.B) {
-	exps, err := core.SweepExperiments(nil, nil, 64)
+	exps, err := core.SweepExperiments(nil, nil, nil, 64)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -52,12 +52,34 @@ func BenchmarkSweep(b *testing.B) {
 	b.ReportMetric(float64(len(exps)), "grid-cells")
 }
 
+// BenchmarkSweepDefenseAxis runs the full grid with the defense axis
+// engaged (undefended baseline + the paper's stock wiring) — the CI smoke
+// for the 3-D sweep, next to BenchmarkSweep's 2-D smoke.
+func BenchmarkSweepDefenseAxis(b *testing.B) {
+	exps, err := core.SweepExperiments(nil, nil, []string{"none", "stock"}, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := eng.Run(context.Background(), exps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(exps) {
+			b.Fatalf("sweep covered %d cells, want %d", len(results), len(exps))
+		}
+	}
+	b.ReportMetric(float64(len(exps)), "grid-cells")
+}
+
 // BenchmarkEngineSweep runs the full attack×architecture cross-product
 // through the engine at fixed pool sizes.
 func BenchmarkEngineSweep(b *testing.B) {
 	for _, par := range []int{1, 2, 8} {
 		b.Run("parallel-"+itoa(par), func(b *testing.B) {
-			exps, err := core.SweepExperiments(nil, nil, 96)
+			exps, err := core.SweepExperiments(nil, nil, nil, 96)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -89,7 +111,7 @@ func BenchmarkEngineSweep(b *testing.B) {
 func BenchmarkEngineCacheSCASweep(b *testing.B) {
 	for _, par := range []int{1, 8} {
 		b.Run("parallel-"+itoa(par), func(b *testing.B) {
-			exps, err := core.SweepExperiments(nil, []string{"cachesca"}, 200)
+			exps, err := core.SweepExperiments(nil, []string{"cachesca"}, nil, 200)
 			if err != nil {
 				b.Fatal(err)
 			}

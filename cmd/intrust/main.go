@@ -1,16 +1,24 @@
 // Command intrust regenerates the paper's figure and comparison tables
 // from live experiments on the simulator, and sweeps the registered
-// attack scenarios against all architectures on the concurrent engine.
+// attack scenarios against all architectures and mitigation
+// configurations on the concurrent engine.
 //
 // Usage:
 //
 //	intrust [-quick] [fig1|arch|cachesca|transient|physical|all]
-//	intrust sweep [-arch a,b|all] [-attack scenario|family,...|all] [-samples N] [-parallel N] [-json]
+//	intrust sweep [-arch a,b|all] [-attack scenario|family,...|all] [-defense none|stock|name,...|all] [-samples N] [-parallel N] [-json] [-diff]
 //	intrust attacks [-family f] [-markdown] [-o file]
+//	intrust defenses [-family f] [-markdown] [-o file]
 //
 // The sweep's -attack flag accepts individual scenario names
 // ("flush+reload", "clkscrew") as well as family names ("cachesca"),
-// case-insensitively; `intrust attacks` lists the catalog.
+// case-insensitively; `intrust attacks` lists the catalog. The -defense
+// flag is the third grid axis: registered mitigation names
+// ("way-partition"), "+"-combinations ("ct-aes+clock-jitter"), and the
+// tokens none (strip even stock wiring), stock (the paper's §4.1 wiring,
+// resolved from the defense registry) and all; `intrust defenses` lists
+// that catalog, and -diff reports which cells each defense flips versus
+// the undefended baseline.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"time"
 
 	"github.com/intrust-sim/intrust/internal/core"
+	"github.com/intrust-sim/intrust/internal/defense"
 	"github.com/intrust-sim/intrust/internal/engine"
 	"github.com/intrust-sim/intrust/internal/scenario"
 )
@@ -38,6 +47,9 @@ func main() {
 	}
 	if what == "attacks" {
 		os.Exit(runAttacks(flag.Args()[1:]))
+	}
+	if what == "defenses" {
+		os.Exit(runDefenses(flag.Args()[1:]))
 	}
 	samples := 400
 	secretLen := 16
@@ -116,7 +128,7 @@ func main() {
 		})
 	}
 	if !any {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want sweep|attacks|fig1|arch|cachesca|transient|physical|all)\n", what)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want sweep|attacks|defenses|fig1|arch|cachesca|transient|physical|all)\n", what)
 		os.Exit(2)
 	}
 }
@@ -174,18 +186,39 @@ func runAttacks(args []string) int {
 	return 0
 }
 
-// runSweep fans the attack×architecture cross-product out on the engine
-// worker pool and renders the results as text or JSON.
+// runSweep fans the attack×architecture×defense cross-product out on the
+// engine worker pool and renders the results as text or JSON.
 func runSweep(args []string) int {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	archFlag := fs.String("arch", "all", "comma-separated architectures ("+strings.Join(core.AllArchitectures, ",")+") or all")
 	attackFlag := fs.String("attack", "all", "comma-separated scenario or family names (see `intrust attacks`) or all")
+	defenseFlag := fs.String("defense", "stock", "comma-separated defense axis: none|stock|all, names from `intrust defenses`, or +combinations")
 	samples := fs.Int("samples", 256, "sample budget per experiment (traces, probe rounds)")
 	parallel := fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
 	jsonOut := fs.Bool("json", false, "emit the machine-readable engine report instead of the text table")
+	diff := fs.Bool("diff", false, "also report which cells each defense flips versus the none baseline (adds none to the axis)")
 	fs.Parse(args)
 
-	exps, err := core.SweepExperiments(splitList(*archFlag), splitList(*attackFlag), *samples)
+	defenses := splitList(*defenseFlag)
+	if *diff && *jsonOut {
+		// The diff is an ASCII table; appending it to the JSON report
+		// would corrupt the machine-readable stream.
+		fmt.Fprintln(os.Stderr, "sweep: -diff cannot be combined with -json (the diff is a text rendering)")
+		return 2
+	}
+	if *diff {
+		// The diff view needs the undefended baseline in the grid.
+		hasNone := false
+		for _, d := range defenses {
+			if strings.EqualFold(strings.TrimSpace(d), "none") {
+				hasNone = true
+			}
+		}
+		if !hasNone {
+			defenses = append([]string{"none"}, defenses...)
+		}
+	}
+	exps, err := core.SweepExperiments(splitList(*archFlag), splitList(*attackFlag), defenses, *samples)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		return 2
@@ -208,10 +241,78 @@ func runSweep(args []string) int {
 			time.Duration(s.TotalNS).Round(time.Millisecond),
 			strings.Join(s.VerdictList(), " "))
 	}
+	if *diff {
+		dt, err := core.SweepDiff(results)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			return 2
+		}
+		fmt.Println()
+		fmt.Print(dt.String())
+	}
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", runErr)
 		return 1
 	}
+	return 0
+}
+
+// runDefenses lists the mitigation catalog: name, countered family, paper
+// section, designed coverage, stock architectures and the applicable
+// architectures, straight from the defense registry. -markdown emits the
+// docs/DEFENSES.md handbook instead (the `go generate` target), and -o
+// redirects either rendering to a file.
+func runDefenses(args []string) int {
+	fs := flag.NewFlagSet("defenses", flag.ExitOnError)
+	family := fs.String("family", "", "restrict the listing to one countered family ("+strings.Join(defense.FamilyOrder, "|")+")")
+	markdown := fs.Bool("markdown", false, "emit the docs/DEFENSES.md handbook instead of the table")
+	outPath := fs.String("o", "", "write to this file instead of stdout")
+	fs.Parse(args)
+
+	var rendering string
+	if *markdown {
+		// The markdown rendering is the go:generate docs/DEFENSES.md
+		// artifact and always describes the whole catalog; a partial
+		// file carrying the generated-file header would lie.
+		if *family != "" {
+			fmt.Fprintln(os.Stderr, "defenses: -family cannot be combined with -markdown (the handbook always covers the full catalog)")
+			return 2
+		}
+		rendering = defense.CatalogMarkdown(defense.Default)
+	} else {
+		defs := defense.All()
+		if *family != "" {
+			if defs = defense.ByFamily(*family); len(defs) == 0 {
+				fmt.Fprintf(os.Stderr, "defenses: unknown family %q (want %s)\n", *family, strings.Join(defense.Families(), "|"))
+				return 2
+			}
+		}
+		t := &core.Table{
+			Title:   fmt.Sprintf("DEFENSES — %d registered mitigations (sweep selects them via -defense)", len(defs)),
+			Columns: []string{"defense", "vs family", "paper §", "blocks", "stock on", "applicable architectures"},
+		}
+		for _, d := range defs {
+			section, summary := defense.DescriptionOf(d)
+			stock := strings.Join(defense.StockOnOf(d), ",")
+			if stock == "" {
+				stock = "-"
+			}
+			t.Rows = append(t.Rows, []string{d.Name(), d.Family(), section,
+				strings.Join(defense.BlocksOf(d), ","), stock, defense.ApplicableCell(d)})
+			if summary != "" {
+				t.Notes = append(t.Notes, d.Name()+": "+summary)
+			}
+		}
+		rendering = t.String()
+	}
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, []byte(rendering), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "defenses: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Print(rendering)
 	return 0
 }
 

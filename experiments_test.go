@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/intrust-sim/intrust/internal/defense"
 	"github.com/intrust-sim/intrust/internal/scenario"
 )
 
@@ -26,6 +27,66 @@ func TestExperimentsIndexInSync(t *testing.T) {
 		if !strings.Contains(string(disk), "`"+s.Name()+"`") {
 			t.Errorf("EXPERIMENTS.md does not mention scenario %q", s.Name())
 		}
+	}
+}
+
+// TestDefensesIndexInSync pins the generated docs/DEFENSES.md to the
+// live defense registry — the defense handbook can never go stale.
+// Regenerate with `go generate ./...`.
+func TestDefensesIndexInSync(t *testing.T) {
+	disk, err := os.ReadFile("docs/DEFENSES.md")
+	if err != nil {
+		t.Fatalf("docs/DEFENSES.md missing (run go generate ./...): %v", err)
+	}
+	want := defense.CatalogMarkdown(defense.Default)
+	if string(disk) != want {
+		t.Error("docs/DEFENSES.md is stale relative to the defense registry: run `go generate ./...`")
+	}
+	// Sanity on content the handbook promises: every registered defense
+	// appears by name, and every blocked-scenario reference resolves in
+	// the scenario registry (the cross-catalog consistency the paper's
+	// defense matrix depends on).
+	for _, d := range AllDefenses() {
+		if !strings.Contains(string(disk), "`"+d.Name()+"`") {
+			t.Errorf("docs/DEFENSES.md does not mention defense %q", d.Name())
+		}
+		for _, blocked := range defense.BlocksOf(d) {
+			if _, ok := LookupScenario(blocked); !ok {
+				t.Errorf("defense %q claims to block unknown scenario %q", d.Name(), blocked)
+			}
+		}
+	}
+}
+
+// TestFacadeDefenseAPI exercises the defense surface exactly as a
+// downstream scheduler would: enumerate the catalog, look a defense up,
+// resolve an architecture's stock set, build a defended environment,
+// mount a scenario through it.
+func TestFacadeDefenseAPI(t *testing.T) {
+	if got := len(AllDefenses()); got < 10 {
+		t.Fatalf("catalog lists %d defenses, want >= 10", got)
+	}
+	d, ok := LookupDefense("Way-Partition")
+	if !ok {
+		t.Fatal("way-partition not registered (case-insensitive lookup)")
+	}
+	if stock := StockDefenses("sanctum"); len(stock) != 1 || stock[0].Name() != d.Name() {
+		t.Errorf("StockDefenses(sanctum) = %v, want [way-partition]", stock)
+	}
+	s, ok := LookupScenario("flush+reload")
+	if !ok {
+		t.Fatal("flush+reload not registered")
+	}
+	env, err := NewScenarioEnvWithDefenses("sgx", 48, 1, nil, []Defense{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Mount(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ScenarioVerdictClass(out.Verdict); got != "mitigated" {
+		t.Errorf("flush+reload on way-partitioned SGX = %q (class %q), want mitigated", out.Verdict, got)
 	}
 }
 
@@ -72,14 +133,23 @@ func TestFacadeScenarioAPI(t *testing.T) {
 	}
 }
 
-// TestFacadeSweepScale pins the acceptance floor of the redesign: the
-// default sweep enumerates at least 100 (scenario, architecture) cells.
+// TestFacadeSweepScale pins the acceptance floors of the sweep: the
+// default sweep enumerates at least 100 (scenario, architecture) cells
+// on the stock defense layer, and the full 3-D grid (none + stock +
+// every cataloged defense) at least 1000.
 func TestFacadeSweepScale(t *testing.T) {
-	exps, err := SweepExperiments(nil, nil, 16)
+	exps, err := SweepExperiments(nil, nil, nil, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(exps) < 100 {
 		t.Errorf("default sweep enumerates %d cells, want >= 100", len(exps))
+	}
+	exps, err = SweepExperiments(nil, nil, []string{"none", "stock", "all"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) < 1000 {
+		t.Errorf("full 3-D sweep enumerates %d cells, want >= 1000", len(exps))
 	}
 }

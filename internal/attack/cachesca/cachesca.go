@@ -30,14 +30,22 @@ const (
 	entriesLine = lineSize / 4           // 16 table entries per line
 )
 
-// Victim is a T-table AES encryption service whose table lookups travel
-// through the simulated cache hierarchy, tagged with the victim's domain.
+// Victim is an AES encryption service under cache observation. The
+// default (T-table) implementation's table lookups travel through the
+// simulated cache hierarchy, tagged with the victim's domain; the
+// constant-time implementation (NewCTVictim) performs no secret-dependent
+// memory access at all, which is exactly the countermeasure's point.
 type Victim struct {
-	aes    *softcrypto.TableAES
-	hier   *cache.Hierarchy
-	domain int
-	base   uint32 // T0 base; T1..T3 and the S-box follow at tableStride
-	key    []byte
+	encrypt func(pt []byte) [16]byte
+	hier    *cache.Hierarchy
+	domain  int
+	base    uint32 // T0 base; T1..T3 and the S-box follow at tableStride
+	key     []byte
+
+	// OnSwitch, when non-nil, runs after every encryption — the hook the
+	// flush-on-switch defense (paper §4.1) uses to model cache hygiene on
+	// the enclave context switch back to the attacker.
+	OnSwitch func()
 
 	// lastCycles accumulates lookup latency of the last encryption.
 	lastCycles int
@@ -50,12 +58,25 @@ func NewVictim(h *cache.Hierarchy, key []byte, domain int, base uint32) (*Victim
 	if err != nil {
 		return nil, err
 	}
-	v := &Victim{aes: ta, hier: h, domain: domain, base: base, key: key}
+	v := &Victim{hier: h, domain: domain, base: base, key: key}
 	ta.Hook = func(table int, idx byte) {
 		r := h.Data(v.TableLineAddr(table, idx), false, domain)
 		v.lastCycles += r.Latency
 	}
+	v.encrypt = ta.Encrypt
 	return v, nil
+}
+
+// NewCTVictim builds a constant-time AES victim (bitsliced-style S-box
+// computation, softcrypto.CTAES): same service interface, but no
+// secret-indexed table lookups reach the cache hierarchy, so the §4.1
+// cache channels have nothing to observe.
+func NewCTVictim(h *cache.Hierarchy, key []byte, domain int, base uint32) (*Victim, error) {
+	ct, err := softcrypto.NewCTAES(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Victim{encrypt: ct.Encrypt, hier: h, domain: domain, base: base, key: key}, nil
 }
 
 // TableLineAddr returns the simulated address of a table entry.
@@ -66,15 +87,25 @@ func (v *Victim) TableLineAddr(table int, idx byte) uint32 {
 // Encrypt runs one encryption, driving the cache.
 func (v *Victim) Encrypt(pt []byte) [16]byte {
 	v.lastCycles = 0
-	return v.aes.Encrypt(pt)
+	ct := v.encrypt(pt)
+	if v.OnSwitch != nil {
+		v.OnSwitch()
+	}
+	return ct
 }
 
 // EncryptTimed runs one encryption and reports its cache latency — the
-// externally observable execution time Evict+Time needs.
+// externally observable execution time Evict+Time needs. The OnSwitch
+// hook runs after the latency is captured: the context-switch hygiene is
+// not part of the victim's observable compute time.
 func (v *Victim) EncryptTimed(pt []byte) ([16]byte, int) {
 	v.lastCycles = 0
-	ct := v.aes.Encrypt(pt)
-	return ct, v.lastCycles
+	ct := v.encrypt(pt)
+	cycles := v.lastCycles
+	if v.OnSwitch != nil {
+		v.OnSwitch()
+	}
+	return ct, cycles
 }
 
 // Key exposes the true key for scoring.

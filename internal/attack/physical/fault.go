@@ -158,6 +158,18 @@ type CLKSCREWResult struct {
 // the Piret–Quisquater DFA, recovering the secure world's key without any
 // access-control violation.
 func CLKSCREW(seed int64) (*CLKSCREWResult, error) {
+	return CLKSCREWDefended(seed, false)
+}
+
+// CLKSCREWDefended is CLKSCREW against a secure world whose clock is
+// optionally protected by random jitter — the fault-attack countermeasure
+// of Section 5 (random clock jitter / unstable internal clocks). The
+// jittered clock displaces the timing-violation instant away from the
+// attacker-targeted final-round datapath: faults land in a random earlier
+// round, diffuse through the remaining rounds, and fail the DFA's
+// single-byte round-9 fault model, so the usable-fault filter starves
+// (reported as a "starved of faults" error with the partial result).
+func CLKSCREWDefended(seed int64, clockJitter bool) (*CLKSCREWResult, error) {
 	p := platform.NewMobile()
 	tz, err := trustzone.New(p)
 	if err != nil {
@@ -182,8 +194,15 @@ func CLKSCREW(seed int64) (*CLKSCREWResult, error) {
 		var hooks *softcrypto.Hooks
 		if fp := c.DVFS.FaultProb(); fp > 0 && rng.Float64() < fp {
 			pos, xor := rng.Intn(16), byte(1+rng.Intn(255))
+			// With clock jitter the violation instant is unpredictable:
+			// the fault hits a random earlier round and diffuses into a
+			// multi-byte pattern the DFA cannot use.
+			faultRound := 9
+			if clockJitter {
+				faultRound = rng.Intn(9)
+			}
 			hooks = &softcrypto.Hooks{RoundIn: func(round int, s *[16]byte) {
-				if round == 9 {
+				if round == faultRound {
 					s[pos] ^= xor
 				}
 			}}

@@ -20,6 +20,12 @@ type TLB struct {
 	data  [][]TLBEntry
 	tick  uint64
 	Stats Stats
+
+	// partitions maps an ASID to a bitmask of ways it may use — TLB way
+	// partitioning, the TLBleed countermeasure analogous to DAWG on the
+	// data caches (paper §4.1): an address space confined to its own
+	// ways can neither evict nor observe another space's translations.
+	partitions map[int]uint64
 }
 
 // NewTLB creates a TLB with the given geometry (sets must be a power of
@@ -35,6 +41,29 @@ func NewTLB(sets, ways int) *TLB {
 	return t
 }
 
+// SetPartition restricts an ASID to the ways in mask (0 clears the
+// partition) — TLB way partitioning (paper §4.1). Lookups and insertions
+// of a partitioned ASID are confined to its ways, so a prime+probe
+// attacker in another ASID never loses an entry to the victim.
+func (t *TLB) SetPartition(asid int, mask uint64) {
+	if t.partitions == nil {
+		t.partitions = map[int]uint64{}
+	}
+	if mask == 0 {
+		delete(t.partitions, asid)
+		return
+	}
+	t.partitions[asid] = mask
+}
+
+// wayMask returns the ways asid may use (all ways when unpartitioned).
+func (t *TLB) wayMask(asid int) uint64 {
+	if m, ok := t.partitions[asid]; ok {
+		return m
+	}
+	return ^uint64(0)
+}
+
 // Sets returns the number of TLB sets.
 func (t *TLB) Sets() int { return t.sets }
 
@@ -48,7 +77,11 @@ func (t *TLB) SetIndexOf(vpn uint32) int { return int(vpn % uint32(t.sets)) }
 func (t *TLB) Lookup(vpn uint32, asid int) (uint32, bool) {
 	t.tick++
 	set := t.data[t.SetIndexOf(vpn)]
+	mask := t.wayMask(asid)
 	for w := range set {
+		if mask&(1<<uint(w)) == 0 {
+			continue
+		}
 		e := &set[w]
 		if e.valid && e.vpn == vpn && e.asid == asid {
 			e.lastUse = t.tick
@@ -64,8 +97,12 @@ func (t *TLB) Lookup(vpn uint32, asid int) (uint32, bool) {
 func (t *TLB) Insert(vpn uint32, asid int, pte uint32) {
 	t.tick++
 	set := t.data[t.SetIndexOf(vpn)]
-	victim, oldest := 0, ^uint64(0)
+	mask := t.wayMask(asid)
+	victim, oldest := -1, ^uint64(0)
 	for w := range set {
+		if mask&(1<<uint(w)) == 0 {
+			continue
+		}
 		if !set[w].valid {
 			victim = w
 			break
@@ -74,6 +111,9 @@ func (t *TLB) Insert(vpn uint32, asid int, pte uint32) {
 			oldest = set[w].lastUse
 			victim = w
 		}
+	}
+	if victim < 0 {
+		panic("cache: empty TLB way mask")
 	}
 	if set[victim].valid {
 		t.Stats.Evictions++

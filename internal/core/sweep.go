@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
+	"github.com/intrust-sim/intrust/internal/defense"
 	"github.com/intrust-sim/intrust/internal/engine"
 	"github.com/intrust-sim/intrust/internal/scenario"
 )
@@ -17,22 +19,38 @@ var AllArchitectures = scenario.Architectures
 // and Section 5 (classical physical).
 var AllAttackFamilies = scenario.FamilyOrder
 
-// SweepExperiments enumerates the scenario×architecture grid as engine
-// jobs: for every requested (scenario, architecture) pair, one experiment
-// that mounts the registered scenario against the architecture's defense
-// configuration — or reports the paper's reason when the scenario is not
-// applicable there (e.g. no shared caches on the embedded platforms).
+// AllDefenseNames lists the registered mitigation names in the defense
+// registry's deterministic order — the named values of the sweep's
+// -defense axis (alongside the axis tokens "none", "stock" and "all").
+func AllDefenseNames() []string { return defense.Default.Names() }
+
+// SweepExperiments enumerates the scenario × architecture × defense grid
+// as engine jobs: for every requested (scenario, architecture, defense
+// selection) triple, one experiment that mounts the registered scenario
+// against the selected mitigation configuration — or reports the paper's
+// reason when the scenario or the defense has no substrate there (e.g. no
+// shared caches to partition on the embedded platforms).
 //
 // The attacks axis accepts scenario names ("flush+reload", "clkscrew"),
-// family names ("cachesca"), or any mix, case-insensitively; "all"
-// anywhere in either axis selects that full axis, as does an empty axis.
-// Unknown names are an error.
-func SweepExperiments(archs, attacks []string, samples int) ([]engine.Experiment, error) {
+// family names ("cachesca"), or any mix; the defenses axis accepts
+// registered defense names ("way-partition"), "+"-joined combinations
+// ("ct-aes+clock-jitter"), and the axis tokens "none" (strip everything,
+// including stock wiring), "stock" (each architecture's paper wiring,
+// resolved from the registry) and "all" (every cataloged defense, one
+// grid layer each). All axes match case-insensitively; "all" anywhere in
+// an axis selects that full axis. An empty defenses axis defaults to
+// ["stock"], which reproduces the paper's §4.1 wiring. Unknown names are
+// an error.
+func SweepExperiments(archs, attacks, defenses []string, samples int) ([]engine.Experiment, error) {
 	archs, err := expandAxis(archs, AllArchitectures, "architecture")
 	if err != nil {
 		return nil, err
 	}
 	scens, err := expandScenarios(attacks)
+	if err != nil {
+		return nil, err
+	}
+	sels, err := expandDefenses(defenses)
 	if err != nil {
 		return nil, err
 	}
@@ -42,7 +60,9 @@ func SweepExperiments(archs, attacks []string, samples int) ([]engine.Experiment
 	var exps []engine.Experiment
 	for _, sc := range scens {
 		for _, arch := range archs {
-			exps = append(exps, sweepExperiment(sc, arch, samples))
+			for _, sel := range sels {
+				exps = append(exps, sweepExperiment(sc, arch, sel, samples))
+			}
 		}
 	}
 	return exps, nil
@@ -129,23 +149,159 @@ func expandScenarios(req []string) ([]scenario.Scenario, error) {
 	return out, nil
 }
 
-// sweepExperiment builds the engine job for one (scenario, architecture)
-// cell of the grid.
-func sweepExperiment(sc scenario.Scenario, arch string, samples int) engine.Experiment {
+// defenseSel is one resolved value of the -defense axis: the undefended
+// baseline, the per-architecture stock wiring, or an explicit (possibly
+// "+"-combined) mitigation set.
+type defenseSel struct {
+	// label is the canonical axis token, used in experiment names (and
+	// therefore in per-job seeds): "none", "stock", "way-partition",
+	// "ct-aes+clock-jitter".
+	label string
+	stock bool
+	defs  []defense.Defense // nil for none and stock
+}
+
+// forArch resolves the selection against one architecture, returning the
+// defenses to mount and the display label for the table's defense column
+// (stock shows what it resolved to, so labels cannot drift from wiring).
+func (s defenseSel) forArch(arch string) ([]defense.Defense, string) {
+	if s.stock {
+		ds := defense.StockFor(arch)
+		if len(ds) == 0 {
+			return nil, "stock (none)"
+		}
+		names := make([]string, len(ds))
+		for i, d := range ds {
+			names[i] = d.Name()
+		}
+		return ds, "stock (" + strings.Join(names, "+") + ")"
+	}
+	return s.defs, s.label
+}
+
+// expandDefenses resolves the defenses axis. Tokens: "none", "stock",
+// registered defense names, "+"-joined combinations thereof, and "all"
+// (every registered defense, one selection each — the axis tokens are not
+// implied; mix them in explicitly, e.g. "none,all"). Matching is
+// case-insensitive; duplicates collapse while preserving order; an empty
+// axis defaults to ["stock"].
+func expandDefenses(req []string) ([]defenseSel, error) {
+	if len(req) == 0 {
+		return []defenseSel{{label: "stock", stock: true}}, nil
+	}
+	var out []defenseSel
+	seen := map[string]bool{}
+	add := func(s defenseSel) {
+		if !seen[s.label] {
+			seen[s.label] = true
+			out = append(out, s)
+		}
+	}
+	useAll := false
+	for _, r := range req {
+		tok := strings.ToLower(strings.TrimSpace(r))
+		switch tok {
+		case "":
+		case "all":
+			useAll = true
+		case "none":
+			add(defenseSel{label: "none"})
+		case "stock":
+			add(defenseSel{label: "stock", stock: true})
+		default:
+			sel, err := namedDefenseSel(tok)
+			if err != nil {
+				return nil, err
+			}
+			add(sel)
+		}
+	}
+	if useAll {
+		for _, d := range defense.All() {
+			add(defenseSel{label: strings.ToLower(d.Name()), defs: []defense.Defense{d}})
+		}
+	}
+	if len(out) == 0 {
+		return []defenseSel{{label: "stock", stock: true}}, nil
+	}
+	return out, nil
+}
+
+// namedDefenseSel resolves one (possibly "+"-combined) defense token.
+// The label is canonicalized by sorting the resolved names, so permuted
+// combinations ("a+b" vs "b+a") collapse into one grid cell instead of
+// running the same wiring twice under different labels and seeds.
+func namedDefenseSel(tok string) (defenseSel, error) {
+	parts := strings.Split(tok, "+")
+	var ds []defense.Defense
+	seen := map[string]bool{}
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		d, ok := defense.Lookup(p)
+		if !ok {
+			return defenseSel{}, fmt.Errorf("unknown defense %q (want one of %s; none; stock; all; or a +combination)",
+				p, strings.Join(defense.Default.Names(), "|"))
+		}
+		key := strings.ToLower(d.Name())
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		ds = append(ds, d)
+	}
+	if len(ds) == 0 {
+		return defenseSel{}, fmt.Errorf("empty defense token %q", tok)
+	}
+	sort.Slice(ds, func(i, j int) bool { return strings.ToLower(ds[i].Name()) < strings.ToLower(ds[j].Name()) })
+	return defenseSel{label: resolvedKey(ds), defs: ds}, nil
+}
+
+// resolvedKey canonically names a resolved defense set: "none" for the
+// empty set, else the sorted lower-cased names joined with "+".
+func resolvedKey(ds []defense.Defense) string {
+	if len(ds) == 0 {
+		return "none"
+	}
+	names := make([]string, len(ds))
+	for i, d := range ds {
+		names[i] = strings.ToLower(d.Name())
+	}
+	sort.Strings(names)
+	return strings.Join(names, "+")
+}
+
+// sweepExperiment builds the engine job for one (scenario, architecture,
+// defense selection) cell of the grid.
+func sweepExperiment(sc scenario.Scenario, arch string, sel defenseSel, samples int) engine.Experiment {
 	// Raise the budget to the scenario's declared floor so the
 	// Experiment's (and the JSON report's) Samples field states what the
 	// job actually runs.
 	if floor := scenario.MinSamplesOf(sc); samples < floor {
 		samples = floor
 	}
+	defs, display := sel.forArch(arch)
 	exp := engine.Experiment{
-		Name:     fmt.Sprintf("sweep/%s/%s/%s", sc.Family(), sc.Name(), arch),
+		Name:     fmt.Sprintf("sweep/%s/%s/%s/%s", sc.Family(), sc.Name(), arch, sel.label),
 		Platform: scenario.ClassOf(arch),
 		Arch:     arch,
 		Attack:   sc.Family(),
+		Defense:  display,
 		Samples:  samples,
 	}
-	if ok, reason := sc.Applicable(arch); !ok {
+	// The engine derives the job seed as Seed ^ FNV(Name), and Name ends
+	// in the axis token — so "none" and "stock" cells with identical
+	// resolved wiring (an architecture with no stock defenses) would
+	// otherwise run under different noise and could diverge near verdict
+	// thresholds, letting SweepDiff credit a flip to an empty defense
+	// set. Cancel the name's hash and seed from the canonical resolved
+	// wiring instead: identical wiring → identical noise → identical
+	// measurement, under any axis spelling.
+	canonical := fmt.Sprintf("sweep/%s/%s/%s/%s", sc.Family(), sc.Name(), arch, resolvedKey(defs))
+	exp.Seed = engine.DeriveSeed(0, exp.Name) ^ engine.DeriveSeed(0, canonical)
+	naCell := func(reason string) engine.Experiment {
 		exp.Run = func(*engine.Ctx) (engine.Outcome, error) {
 			return engine.Outcome{
 				Rows:    scenario.Cell(sc.Name(), arch, "-", "n/a"),
@@ -155,8 +311,16 @@ func sweepExperiment(sc scenario.Scenario, arch string, samples int) engine.Expe
 		}
 		return exp
 	}
+	if ok, reason := sc.Applicable(arch); !ok {
+		return naCell(reason)
+	}
+	for _, d := range defs {
+		if ok, reason := d.AppliesTo(arch); !ok {
+			return naCell(fmt.Sprintf("defense %s not applicable on %s: %s", d.Name(), arch, reason))
+		}
+	}
 	exp.Run = func(ctx *engine.Ctx) (engine.Outcome, error) {
-		env, err := scenario.NewEnv(arch, ctx.Samples, ctx.Seed, ctx.RNG)
+		env, err := scenario.NewEnvWithDefenses(arch, ctx.Samples, ctx.Seed, ctx.RNG, defs)
 		if err != nil {
 			return engine.Outcome{}, err
 		}
@@ -166,35 +330,117 @@ func sweepExperiment(sc scenario.Scenario, arch string, samples int) engine.Expe
 }
 
 // sweepScenarioName recovers the bare scenario name from an experiment
-// name of the form "sweep/<family>/<name>/<arch>", so error rows align
-// with the scenario column every successful row uses.
+// name of the form "sweep/<family>/<name>/<arch>/<defense>", so error
+// rows align with the scenario column every successful row uses.
 func sweepScenarioName(expName string) string {
-	if parts := strings.Split(expName, "/"); len(parts) == 4 {
+	if parts := strings.Split(expName, "/"); len(parts) == 5 {
 		return parts[2]
 	}
 	return expName
 }
 
-// SweepTable renders sweep results as the familiar ASCII matrix.
+// sweepDefenseLabel recovers the canonical defense-axis token from an
+// experiment name (the fifth path element).
+func sweepDefenseLabel(expName string) string {
+	if parts := strings.Split(expName, "/"); len(parts) == 5 {
+		return parts[4]
+	}
+	return ""
+}
+
+// SweepTable renders sweep results as the familiar ASCII matrix, one row
+// per (scenario, architecture, defense) cell, with the normalized
+// broken/mitigated/n-a class in the last column.
 func SweepTable(results []engine.Result) *Table {
 	t := &Table{
-		Title:   "SWEEP — attack scenarios × architectures (one experiment per cell)",
-		Columns: []string{"scenario", "architecture", "measurement", "verdict"},
+		Title:   "SWEEP — attack scenarios × architectures × defenses (one experiment per cell)",
+		Columns: []string{"scenario", "architecture", "defense", "measurement", "verdict", "class"},
 	}
 	// The grid repeats most detail lines (one per architecture) and every
 	// n/a reason (one per excluded architecture); note each distinct line
 	// once, in first-appearance order.
 	noted := map[string]bool{}
 	for i := range results {
-		if results[i].Failed() {
-			t.Rows = append(t.Rows, []string{sweepScenarioName(results[i].Name), results[i].Arch, "-", "ERROR: " + results[i].Err})
+		r := &results[i]
+		if r.Failed() {
+			t.Rows = append(t.Rows, []string{sweepScenarioName(r.Name), r.Arch, r.Experiment.Defense, "-", "ERROR: " + r.Err, "error"})
 			continue
 		}
-		t.Rows = append(t.Rows, results[i].Rows...)
-		if d := results[i].Detail; d != "" && !noted[d] {
+		for _, row := range r.Rows {
+			if len(row) == 4 {
+				t.Rows = append(t.Rows, []string{row[0], row[1], r.Experiment.Defense, row[2], row[3], scenario.VerdictClass(row[3])})
+			} else {
+				t.Rows = append(t.Rows, row)
+			}
+		}
+		if d := r.Detail; d != "" && !noted[d] {
 			noted[d] = true
 			t.Notes = append(t.Notes, d)
 		}
 	}
 	return t
+}
+
+// SweepDiff compares every defended cell of a sweep run against the
+// "none" baseline of the same (scenario, architecture) pair and tabulates
+// the cells the defense flips — broken→mitigated is the defense's gain,
+// mitigated→broken would be a regression. The run must include the
+// "none" selection on the defense axis (the CLI's -diff adds it).
+func SweepDiff(results []engine.Result) (*Table, error) {
+	type cell struct {
+		verdict, class, display string
+	}
+	baseline := map[string]cell{} // scenario/arch -> none cell
+	type keyed struct {
+		key, label string
+		c          cell
+	}
+	var defended []keyed
+	for i := range results {
+		r := &results[i]
+		if r.Failed() {
+			continue
+		}
+		label := sweepDefenseLabel(r.Name)
+		k := sweepScenarioName(r.Name) + "/" + r.Arch
+		c := cell{verdict: r.Verdict, class: scenario.VerdictClass(r.Verdict), display: r.Experiment.Defense}
+		if label == "none" {
+			baseline[k] = c
+			continue
+		}
+		defended = append(defended, keyed{key: k, label: label, c: c})
+	}
+	if len(baseline) == 0 {
+		return nil, fmt.Errorf("sweep diff needs the \"none\" baseline on the defense axis (add -defense none,...)")
+	}
+	t := &Table{
+		Title:   "DIFF — cells each defense flips versus the undefended baseline",
+		Columns: []string{"scenario", "architecture", "defense", "none", "defended", "flip"},
+	}
+	flips, unchanged := 0, 0
+	for _, d := range defended {
+		base, ok := baseline[d.key]
+		if !ok {
+			continue
+		}
+		// n/a cells cannot flip: either the attack has no substrate (both
+		// sides n/a) or the defense has none (defended side n/a).
+		if base.class == scenario.ClassNA || d.c.class == scenario.ClassNA {
+			continue
+		}
+		if base.class == d.c.class {
+			unchanged++
+			continue
+		}
+		flips++
+		parts := strings.SplitN(d.key, "/", 2)
+		t.Rows = append(t.Rows, []string{parts[0], parts[1], d.c.display,
+			base.class, d.c.class, base.class + " -> " + d.c.class})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d flipped cells, %d defended cells unchanged vs none (n/a cells excluded)", flips, unchanged))
+	if flips == 0 {
+		t.Notes = append(t.Notes, "no cell changed class: the selected defenses do not affect the selected attacks")
+	}
+	return t, nil
 }

@@ -1,0 +1,151 @@
+package defense
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/intrust-sim/intrust/internal/platform"
+)
+
+// catalogNames is the contract of the shipped mitigation catalog: these
+// names are stable public API (CLI -defense selectors, sweep cell labels,
+// docs/DEFENSES.md anchors) — renaming one is a breaking change and
+// re-rolls its cells' RNG seeds.
+var catalogNames = []string{
+	// against cachesca (§4.1)
+	"cache-coloring", "ct-aes", "flush-on-switch", "tlb-partition", "way-partition",
+	// against transient (§4.2)
+	"btb-flush", "spec-barrier",
+	// against physical (§5)
+	"clock-jitter", "crt-check", "masked-aes",
+}
+
+func TestCatalogNamesStable(t *testing.T) {
+	if got := Default.Names(); !reflect.DeepEqual(got, catalogNames) {
+		t.Errorf("catalog names = %v, want %v", got, catalogNames)
+	}
+}
+
+func TestCatalogMetadataComplete(t *testing.T) {
+	for _, d := range All() {
+		section, summary := DescriptionOf(d)
+		if section == "" || summary == "" {
+			t.Errorf("%s: missing catalog metadata (section=%q summary=%q)", d.Name(), section, summary)
+		}
+		if len(BlocksOf(d)) == 0 {
+			t.Errorf("%s: declares no blocked scenarios — a defense that stops nothing is not a defense", d.Name())
+		}
+		if rank := familyRank(d.Family()); rank >= len(FamilyOrder) {
+			t.Errorf("%s: unknown family %q", d.Name(), d.Family())
+		}
+		for _, arch := range StockOnOf(d) {
+			if _, ok := platform.ArchClass(arch); !ok {
+				t.Errorf("%s: stock-on unknown architecture %q", d.Name(), arch)
+			}
+		}
+	}
+}
+
+// TestApplicabilityMatchesPaper pins each defense's architecture axis to
+// the paper's platform taxonomy: the cache/TLB/predictor mechanisms need
+// shared microarchitectural state (absent on the embedded platforms),
+// while the software countermeasures (constant-time, masking, CRT checks,
+// clock jitter) and the trivially-satisfiable speculation barrier apply
+// everywhere.
+func TestApplicabilityMatchesPaper(t *testing.T) {
+	embedded := []string{"smart", "sancus", "trustlite", "tytan"}
+	highEnd := []string{"sgx", "sanctum", "trustzone", "sanctuary"}
+	applicableSet := func(name string) map[string]bool {
+		t.Helper()
+		d, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("defense %s not registered", name)
+		}
+		out := map[string]bool{}
+		for _, arch := range platform.Architectures {
+			ok, reason := d.AppliesTo(arch)
+			if !ok && reason == "" {
+				t.Errorf("%s/%s: not applicable but no reason given", name, arch)
+			}
+			out[arch] = ok
+		}
+		return out
+	}
+	for _, name := range []string{"way-partition", "cache-coloring", "flush-on-switch", "tlb-partition", "btb-flush"} {
+		set := applicableSet(name)
+		for _, arch := range highEnd {
+			if !set[arch] {
+				t.Errorf("%s not applicable on %s", name, arch)
+			}
+		}
+		for _, arch := range embedded {
+			if set[arch] {
+				t.Errorf("%s applicable on embedded %s (no substrate)", name, arch)
+			}
+		}
+	}
+	for _, name := range []string{"ct-aes", "masked-aes", "spec-barrier", "crt-check", "clock-jitter"} {
+		for arch, ok := range applicableSet(name) {
+			if !ok {
+				t.Errorf("%s not applicable on %s", name, arch)
+			}
+		}
+	}
+	// Unknown architectures are never applicable.
+	for _, d := range All() {
+		if ok, _ := d.AppliesTo("enigma"); ok {
+			t.Errorf("%s applicable on unknown architecture", d.Name())
+		}
+	}
+}
+
+// TestStockWiringMatchesPaper pins the §4.1 stock matrix: Sanctum ships
+// LLC way-partitioning, Sanctuary ships cache exclusion/coloring, and no
+// other surveyed architecture ships a cataloged cache defense.
+func TestStockWiringMatchesPaper(t *testing.T) {
+	want := map[string][]string{
+		"sanctum": {"way-partition"}, "sanctuary": {"cache-coloring"},
+		"sgx": nil, "trustzone": nil, "smart": nil, "sancus": nil, "trustlite": nil, "tytan": nil,
+	}
+	for arch, names := range want {
+		got := StockNames(arch)
+		if len(got) == 0 && len(names) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, names) {
+			t.Errorf("StockNames(%s) = %v, want %v", arch, got, names)
+		}
+	}
+}
+
+// TestConfigureIsPureConfigTransform checks a Configure call edits only
+// the Config handed to it: two configs configured independently end up
+// equivalent, and the zero config stays undefended.
+func TestConfigureIsPureConfigTransform(t *testing.T) {
+	d, _ := Lookup("ct-aes")
+	c1, err := NewConfig("sgx", 5, 9, 1, 2, 0x40000, 0x2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := NewConfig("sgx", 5, 9, 1, 2, 0x40000, 0x2000)
+	d.Configure(c1)
+	if !c1.ConstantTimeAES {
+		t.Errorf("ct-aes did not set the constant-time knob: %+v", c1)
+	}
+	// The two AES knobs are independent: layering masked-aes on top must
+	// not revert the cache victim to the leaky T-table implementation.
+	if m, ok := Lookup("masked-aes"); ok {
+		m.Configure(c1)
+	} else {
+		t.Fatal("masked-aes not registered")
+	}
+	if !c1.ConstantTimeAES || !c1.MaskedAES {
+		t.Errorf("ct-aes+masked-aes did not compose: %+v", c1)
+	}
+	if c2.ConstantTimeAES || c2.MaskedAES || c2.FlushOnSwitch || c2.SpecBarrier || c2.CRTCheck {
+		t.Errorf("untouched config mutated: %+v", c2)
+	}
+	if _, err := NewConfig("enigma", 5, 9, 1, 2, 0, 0); err == nil {
+		t.Error("unknown architecture accepted by NewConfig")
+	}
+}

@@ -1,0 +1,209 @@
+package defense
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a concurrency-safe catalog of defenses keyed by name,
+// mirroring the scenario registry: lookups are case-insensitive and
+// enumeration order is deterministic (family in FamilyOrder ranking,
+// then name) regardless of registration order, so registry-driven sweeps
+// keep the engine's reproducibility guarantees.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]Defense // key: lower-cased name
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]Defense{}}
+}
+
+// Register adds a defense. Names must be non-empty and unique (including
+// case-insensitively — the CLI resolves the -defense axis
+// case-insensitively, so two names differing only in case would be
+// ambiguous), and the family must be non-empty. The reserved axis tokens
+// "none", "stock" and "all" are rejected as names.
+func (r *Registry) Register(d Defense) error {
+	if d == nil {
+		return fmt.Errorf("defense: register nil defense")
+	}
+	name := d.Name()
+	if name == "" {
+		return fmt.Errorf("defense: register with empty name")
+	}
+	switch strings.ToLower(name) {
+	case "none", "stock", "all":
+		return fmt.Errorf("defense: name %q is a reserved axis token", name)
+	}
+	// The sweep's -defense axis splits selections on ',' and combinations
+	// on '+', and the defense label becomes a '/'-separated experiment
+	// name segment — a name containing any of those would be unselectable
+	// or would corrupt cell-name parsing, so reject it at registration.
+	if strings.ContainsAny(name, "+,/") {
+		return fmt.Errorf("defense: name %q contains an axis separator (one of \"+,/\")", name)
+	}
+	if d.Family() == "" {
+		return fmt.Errorf("defense: register %q with empty family", name)
+	}
+	key := strings.ToLower(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, dup := r.byName[key]; dup {
+		return fmt.Errorf("defense: name %q already registered (as %q)", name, prev.Name())
+	}
+	r.byName[key] = d
+	return nil
+}
+
+// MustRegister is Register panicking on error — for init-time catalog
+// registration, where a duplicate is a programming error.
+func (r *Registry) MustRegister(d Defense) {
+	if err := r.Register(d); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup finds a defense by name, case-insensitively.
+func (r *Registry) Lookup(name string) (Defense, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.byName[strings.ToLower(name)]
+	return d, ok
+}
+
+// All returns every registered defense in deterministic order: families
+// in FamilyOrder ranking (unknown families after, alphabetically), names
+// alphabetically within a family.
+func (r *Registry) All() []Defense {
+	r.mu.RLock()
+	out := make([]Defense, 0, len(r.byName))
+	for _, d := range r.byName {
+		out = append(out, d)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		fi, fj := out[i].Family(), out[j].Family()
+		if fi != fj {
+			ri, rj := familyRank(fi), familyRank(fj)
+			if ri != rj {
+				return ri < rj
+			}
+			return fi < fj
+		}
+		return out[i].Name() < out[j].Name()
+	})
+	return out
+}
+
+// ByFamily returns the registered defenses countering one family
+// (matched case-insensitively), in All's deterministic order.
+func (r *Registry) ByFamily(family string) []Defense {
+	var out []Defense
+	for _, d := range r.All() {
+		if strings.EqualFold(d.Family(), family) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Families returns the distinct countered families with at least one
+// registered defense, in FamilyOrder ranking.
+func (r *Registry) Families() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, d := range r.All() {
+		if !seen[d.Family()] {
+			seen[d.Family()] = true
+			out = append(out, d.Family())
+		}
+	}
+	return out
+}
+
+// Names returns every registered defense name in All's order.
+func (r *Registry) Names() []string {
+	all := r.All()
+	out := make([]string, len(all))
+	for i, d := range all {
+		out[i] = d.Name()
+	}
+	return out
+}
+
+// Len reports the number of registered defenses.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byName)
+}
+
+// StockFor returns the defenses that ship by default on the given
+// architecture — the paper's §4.1 wiring, derived from the catalog's
+// StockOn metadata so labels can never drift from the actual
+// configuration — in All's deterministic order.
+func (r *Registry) StockFor(arch string) []Defense {
+	var out []Defense
+	for _, d := range r.All() {
+		for _, a := range StockOnOf(d) {
+			if strings.EqualFold(a, arch) {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func familyRank(f string) int {
+	for i, known := range FamilyOrder {
+		if known == f {
+			return i
+		}
+	}
+	return len(FamilyOrder)
+}
+
+// Default is the process-wide registry the catalog self-registers into
+// and the sweep's -defense axis resolves against.
+var Default = NewRegistry()
+
+// Register adds a defense to the default registry.
+func Register(d Defense) error { return Default.Register(d) }
+
+// MustRegister adds a defense to the default registry, panicking on
+// error.
+func MustRegister(d Defense) { Default.MustRegister(d) }
+
+// Lookup finds a defense in the default registry, case-insensitively.
+func Lookup(name string) (Defense, bool) { return Default.Lookup(name) }
+
+// All enumerates the default registry in deterministic order.
+func All() []Defense { return Default.All() }
+
+// ByFamily enumerates the default registry's defenses for one countered
+// family.
+func ByFamily(family string) []Defense { return Default.ByFamily(family) }
+
+// Families lists the default registry's populated countered families.
+func Families() []string { return Default.Families() }
+
+// StockFor lists the default registry's stock defenses for an
+// architecture.
+func StockFor(arch string) []Defense { return Default.StockFor(arch) }
+
+// StockNames returns the stock defense names for an architecture, or
+// ["none"]-equivalent empty slice when it ships none — the label source
+// for sweep cells and detail lines.
+func StockNames(arch string) []string {
+	ds := StockFor(arch)
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Name()
+	}
+	return out
+}

@@ -42,6 +42,10 @@ type Experiment struct {
 	// Attack is the attack family exercised (cachesca, transient,
 	// physical, probe), when meaningful.
 	Attack string `json:"attack,omitempty"`
+	// Defense labels the mitigation configuration the experiment runs
+	// under ("none", "stock", a defense name, or a "+"-joined
+	// combination), when meaningful — the third sweep axis.
+	Defense string `json:"defense,omitempty"`
 	// Samples is the sample budget (traces, timings, probe rounds)
 	// handed to the Run closure via Ctx.
 	Samples int `json:"samples,omitempty"`

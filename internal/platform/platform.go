@@ -20,6 +20,31 @@ import (
 	"github.com/intrust-sim/intrust/internal/mem"
 )
 
+// Architectures lists the eight surveyed security-architecture keys in
+// the paper's Section 3 order (high-end to embedded). It lives here —
+// below both the scenario and the defense registries — so the attack
+// axis (internal/scenario) and the mitigation axis (internal/defense)
+// share one source of truth for the architecture axis.
+var Architectures = []string{
+	"sgx", "sanctum", "trustzone", "sanctuary", "smart", "sancus", "trustlite", "tytan",
+}
+
+// archClasses maps an architecture key to the platform class it is built
+// on (Section 3: SGX/Sanctum on stationary high-performance platforms,
+// TrustZone/Sanctuary on mobile SoCs, the rest on embedded devices).
+var archClasses = map[string]Class{
+	"sgx": ClassServer, "sanctum": ClassServer,
+	"trustzone": ClassMobile, "sanctuary": ClassMobile,
+	"smart": ClassEmbedded, "sancus": ClassEmbedded, "trustlite": ClassEmbedded, "tytan": ClassEmbedded,
+}
+
+// ArchClass returns the platform class an architecture key is built on;
+// ok is false for unknown keys.
+func ArchClass(arch string) (Class, bool) {
+	c, ok := archClasses[arch]
+	return c, ok
+}
+
 // Class identifies a platform class from Figure 1.
 type Class uint8
 

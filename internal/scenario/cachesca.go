@@ -58,16 +58,15 @@ func CacheVerdict(res cachesca.Result) string {
 	return "defense holds"
 }
 
-// defenseName names the cache defense the environment's architecture
-// mounts (for outcome detail lines).
-func defenseName(arch string) string {
-	switch arch {
-	case "sanctum":
-		return "LLC partitioning (Sanctum)"
-	case "sanctuary":
-		return "cache exclusion (Sanctuary)"
+// defenseName names the cell's mitigation set for outcome detail lines.
+// It derives from the environment's resolved defenses (ultimately the
+// defense registry) — never a parallel arch→string table — so the label
+// cannot drift from the wiring that actually ran.
+func defenseName(env *Env) string {
+	if label := env.DefenseLabel(); label != "none" {
+		return label + " (" + env.Arch + ")"
 	}
-	return "no cache defense (" + arch + ")"
+	return "no defense (" + env.Arch + ")"
 }
 
 // cacheOutcome renders a key-nibble recovery outcome.
@@ -105,6 +104,27 @@ func bitOutcome(name string, env *Env, correct, total int, detail string) Outcom
 	}
 }
 
+// switchFlushPredictor models the btb-flush defense around the shared
+// predictor: every attacker query follows a context switch away from the
+// victim, and the switch flushes BTB/PHT/RSB state (IBPB), so shadow
+// queries only ever observe reset predictions.
+type switchFlushPredictor struct {
+	p interface {
+		cachesca.BranchPredictor
+		Flush()
+	}
+}
+
+// UpdateBranch trains the underlying predictor (the victim's own
+// executions are unaffected by switch hygiene).
+func (f *switchFlushPredictor) UpdateBranch(pc uint32, taken bool) { f.p.UpdateBranch(pc, taken) }
+
+// PredictBranch flushes (the victim→attacker switch) before querying.
+func (f *switchFlushPredictor) PredictBranch(pc uint32) bool {
+	f.p.Flush()
+	return f.p.PredictBranch(pc)
+}
+
 func cacheScenarios() []Scenario {
 	return []Scenario{
 		&Spec{
@@ -118,7 +138,7 @@ func cacheScenarios() []Scenario {
 					return Outcome{}, err
 				}
 				res := cachesca.FlushReload(v, env.Samples, AttackerDomain, env.RNG)
-				return cacheOutcome("flush+reload", env, res, "flush+reload vs "+defenseName(env.Arch)), nil
+				return cacheOutcome("flush+reload", env, res, "flush+reload vs "+defenseName(env)), nil
 			},
 		},
 		&Spec{
@@ -132,7 +152,7 @@ func cacheScenarios() []Scenario {
 					return Outcome{}, err
 				}
 				res := cachesca.PrimeProbe(v, p.LLC, env.Samples, AttackerDomain, env.RNG)
-				return cacheOutcome("prime+probe", env, res, "prime+probe vs "+defenseName(env.Arch)), nil
+				return cacheOutcome("prime+probe", env, res, "prime+probe vs "+defenseName(env)), nil
 			},
 		},
 		&Spec{
@@ -151,7 +171,7 @@ func cacheScenarios() []Scenario {
 					return Outcome{}, err
 				}
 				res := cachesca.EvictTime(v, env.Samples, env.RNG)
-				return cacheOutcome("evict+time", env, res, "evict+time vs "+defenseName(env.Arch)), nil
+				return cacheOutcome("evict+time", env, res, "evict+time vs "+defenseName(env)), nil
 			},
 		},
 		&Spec{
@@ -164,9 +184,9 @@ func cacheScenarios() []Scenario {
 				// bit, so the sample budget sizes the secret.
 				secret := make([]byte, secretBytesFor(env.Samples))
 				env.RNG.Read(secret)
-				_, correct := cachesca.TLBAttack(p.Core(0).TLB, secret, 1, 2)
+				_, correct := cachesca.TLBAttack(p.Core(0).TLB, secret, VictimASID, AttackerASID)
 				return bitOutcome("tlb-channel", env, correct, len(secret)*8,
-					"TLB prime+probe on the platform's shared TLB"), nil
+					"TLB prime+probe vs "+defenseName(env)), nil
 			},
 		},
 		&Spec{
@@ -178,9 +198,16 @@ func cacheScenarios() []Scenario {
 				// One shadow-query round per secret bit, as above.
 				secret := make([]byte, secretBytesFor(env.Samples))
 				env.RNG.Read(secret)
-				_, correct := cachesca.BranchShadow(p.Core(0).Pred, secret, 40)
+				var pred cachesca.BranchPredictor = p.Core(0).Pred
+				if env.DefenseConfig().PredictorFlush {
+					// IBPB-style btb-flush (§4.2): predictor state is
+					// invalidated on every victim→attacker switch, so the
+					// shadow query observes reset state.
+					pred = &switchFlushPredictor{p: p.Core(0).Pred}
+				}
+				_, correct := cachesca.BranchShadow(pred, secret, 40)
 				return bitOutcome("branch-shadow", env, correct, len(secret)*8,
-					"branch shadowing on the shared VA-indexed predictor"), nil
+					"branch shadowing vs "+defenseName(env)), nil
 			},
 		},
 	}

@@ -3,49 +3,72 @@ package scenario
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"github.com/intrust-sim/intrust/internal/attack/cachesca"
-	"github.com/intrust-sim/intrust/internal/cache"
+	"github.com/intrust-sim/intrust/internal/attack/physical"
 	"github.com/intrust-sim/intrust/internal/cpu"
+	"github.com/intrust-sim/intrust/internal/defense"
 	"github.com/intrust-sim/intrust/internal/platform"
+	"github.com/intrust-sim/intrust/internal/power"
 	"github.com/intrust-sim/intrust/internal/tee/sgx"
 )
 
 // Architectures lists the sweepable architecture keys in the paper's
-// Section 3 order (high-end to embedded).
-var Architectures = []string{
-	"sgx", "sanctum", "trustzone", "sanctuary", "smart", "sancus", "trustlite", "tytan",
-}
+// Section 3 order (high-end to embedded). The canonical list lives in
+// internal/platform so the scenario and defense registries share one
+// architecture axis.
+var Architectures = platform.Architectures
 
 // Platform classes as used in applicability reasoning and experiment
-// metadata.
+// metadata (Figure 1's three columns).
 const (
-	ClassServer   = "server"
-	ClassMobile   = "mobile"
+	// ClassServer covers servers and desktop computers.
+	ClassServer = "server"
+	// ClassMobile covers smartphones and tablets.
+	ClassMobile = "mobile"
+	// ClassEmbedded covers low-energy IoT and embedded devices.
 	ClassEmbedded = "embedded"
 )
 
-// archClass maps an architecture key to its platform class.
-var archClass = map[string]string{
-	"sgx": ClassServer, "sanctum": ClassServer,
-	"trustzone": ClassMobile, "sanctuary": ClassMobile,
-	"smart": ClassEmbedded, "sancus": ClassEmbedded, "trustlite": ClassEmbedded, "tytan": ClassEmbedded,
-}
-
 // ClassOf returns an architecture's platform class, or "" for unknown
 // architectures.
-func ClassOf(arch string) string { return archClass[arch] }
+func ClassOf(arch string) string {
+	c, ok := platform.ArchClass(arch)
+	if !ok {
+		return ""
+	}
+	switch c {
+	case platform.ClassServer:
+		return ClassServer
+	case platform.ClassMobile:
+		return ClassMobile
+	}
+	return ClassEmbedded
+}
 
 // KnownArchitecture reports whether arch is one of the eight surveyed
 // architectures.
-func KnownArchitecture(arch string) bool { return archClass[arch] != "" }
+func KnownArchitecture(arch string) bool { return ClassOf(arch) != "" }
 
 // Shared victim geometry: the T-table AES victim lives in domain 5 with
-// its tables at 0x40000; the cache attacker observes from domain 9.
+// its tables at 0x40000 (0x2000 bytes: four T-tables plus the S-box); the
+// cache attacker observes from domain 9. The TLB channel uses ASIDs 1
+// (victim) and 2 (attacker).
 const (
-	VictimDomain    = 5
-	AttackerDomain  = 9
+	// VictimDomain is the cache security domain of the AES victim.
+	VictimDomain = 5
+	// AttackerDomain is the cache security domain the attacker probes
+	// from.
+	AttackerDomain = 9
+	// VictimTableBase is the simulated address of the victim's T0 table.
 	VictimTableBase = 0x40000
+	// VictimTableSize bounds the victim's table range (T0–T3 + S-box).
+	VictimTableSize = 0x2000
+	// VictimASID is the victim's TLB address-space identifier.
+	VictimASID = 1
+	// AttackerASID is the attacker's TLB address-space identifier.
+	AttackerASID = 2
 )
 
 // VictimKey returns the AES key every sweep victim is provisioned with —
@@ -55,8 +78,14 @@ func VictimKey() []byte { return []byte("sweep aes key 16") }
 // Env is the typed environment every scenario mounts from. It packages
 // what the bespoke attack signatures used to demand ad hoc: the target
 // architecture and its platform class, the matching CPU feature set,
-// victim constructors wired to the architecture's defense configuration,
+// victim constructors wired through the cell's defense configuration,
 // the per-job deterministic RNG and seed, and the sample budget.
+//
+// The defense configuration is the third sweep axis (paper §4.1/§5:
+// every mitigation buys some cells and leaves others broken). NewEnv
+// resolves an architecture's stock defenses from the defense registry —
+// the wiring that used to be a hard-coded switch in NewPlatform —
+// while NewEnvWithDefenses mounts any explicit mitigation set.
 type Env struct {
 	// Arch is the target architecture key (one of Architectures).
 	Arch string
@@ -71,11 +100,26 @@ type Env struct {
 	// RNG is the job-private deterministic random source. Scenarios
 	// must draw all randomness from it (never the global source).
 	RNG *rand.Rand
+	// Defenses are the mitigations in effect for this cell, already
+	// validated as applicable to Arch.
+	Defenses []defense.Defense
+
+	cfg *defense.Config
 }
 
-// NewEnv builds the environment for one (architecture, job) pair. A nil
-// rng is derived from seed; samples <= 0 defaults to 256.
+// NewEnv builds the environment for one (architecture, job) pair with the
+// architecture's stock defenses (the paper's §4.1 wiring, resolved from
+// the defense registry). A nil rng is derived from seed; samples <= 0
+// defaults to 256.
 func NewEnv(arch string, samples int, seed int64, rng *rand.Rand) (*Env, error) {
+	return NewEnvWithDefenses(arch, samples, seed, rng, defense.StockFor(arch))
+}
+
+// NewEnvWithDefenses builds the environment for one (architecture,
+// defense set, job) triple. Every defense must be applicable to the
+// architecture — the sweep reports non-applicable combinations as n/a
+// cells before ever constructing an environment.
+func NewEnvWithDefenses(arch string, samples int, seed int64, rng *rand.Rand, defenses []defense.Defense) (*Env, error) {
 	class := ClassOf(arch)
 	if class == "" {
 		return nil, fmt.Errorf("scenario: unknown architecture %q", arch)
@@ -86,7 +130,38 @@ func NewEnv(arch string, samples int, seed int64, rng *rand.Rand) (*Env, error) 
 	if rng == nil {
 		rng = rand.New(rand.NewSource(seed))
 	}
-	return &Env{Arch: arch, Class: class, Samples: samples, Seed: seed, RNG: rng}, nil
+	cfg, err := defense.NewConfig(arch, VictimDomain, AttackerDomain, VictimASID, AttackerASID, VictimTableBase, VictimTableSize)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range defenses {
+		if ok, reason := d.AppliesTo(arch); !ok {
+			return nil, fmt.Errorf("scenario: defense %s not applicable on %s: %s", d.Name(), arch, reason)
+		}
+		d.Configure(cfg)
+	}
+	return &Env{Arch: arch, Class: class, Samples: samples, Seed: seed, RNG: rng,
+		Defenses: defenses, cfg: cfg}, nil
+}
+
+// DefenseConfig exposes the cell's resolved defense wiring — the knob set
+// scenarios consult when a mitigation lives in victim construction or
+// attack parameters rather than platform assembly.
+func (e *Env) DefenseConfig() *defense.Config { return e.cfg }
+
+// DefenseLabel names the cell's mitigation set for detail lines and table
+// cells: "none", or the "+"-joined defense names. Deriving the label from
+// the resolved defense values (never a parallel string table) is what
+// keeps cell labels from drifting from the actual wiring.
+func (e *Env) DefenseLabel() string {
+	if len(e.Defenses) == 0 {
+		return "none"
+	}
+	names := make([]string, len(e.Defenses))
+	for i, d := range e.Defenses {
+		names[i] = d.Name()
+	}
+	return strings.Join(names, "+")
 }
 
 // Features returns the CPU feature set of the environment's platform
@@ -102,11 +177,13 @@ func (e *Env) Features() cpu.Features {
 	}
 }
 
-// NewPlatform assembles a fresh platform of the architecture's class with
-// the architecture's cache defense applied: LLC way-partitioning between
-// the victim and attacker domains on Sanctum, exclusion of the victim
-// table range from shared cache levels on Sanctuary, and no cache defense
-// on SGX or TrustZone — exactly the paper's Section 4.1 defense matrix.
+// NewPlatform assembles a fresh platform of the architecture's class and
+// applies the cell's defense configuration — the platform hooks the
+// §4.1 cache-isolation defenses installed via Configure. With the stock
+// defense set this reproduces the paper's wiring (LLC way-partitioning on
+// Sanctum, cache exclusion/coloring on Sanctuary, nothing on SGX or
+// TrustZone) from registry metadata instead of the hard-coded
+// per-architecture block this method used to carry.
 func (e *Env) NewPlatform() *platform.Platform {
 	var p *platform.Platform
 	switch e.Class {
@@ -115,28 +192,54 @@ func (e *Env) NewPlatform() *platform.Platform {
 	case ClassMobile:
 		p = platform.NewMobile()
 	default:
-		return platform.NewEmbedded()
+		p = platform.NewEmbedded()
 	}
-	switch e.Arch {
-	case "sanctum":
-		p.LLC.SetPartition(VictimDomain, 0x00ff)
-		p.LLC.SetPartition(AttackerDomain, 0xff00)
-	case "sanctuary":
-		p.Core(0).Hier.Cacheability = func(addr uint32) cache.Level {
-			if addr >= VictimTableBase && addr < VictimTableBase+0x2000 {
-				return cache.LevelL1
-			}
-			return cache.LevelAll
-		}
-	}
+	e.cfg.Apply(p)
 	return p
 }
 
-// AESVictim places the standard T-table AES victim on the platform (at
+// AESVictim places the standard AES victim on the platform (at
 // VictimTableBase, tagged VictimDomain) so cache scenarios observe it
-// through whatever defense NewPlatform configured.
+// through whatever the cell's defense configuration mounted: the
+// unprotected T-table implementation by default, the constant-time
+// implementation under ct-aes (§4.1), with cache-hygiene on every
+// enclave exit under flush-on-switch (§4.1).
 func (e *Env) AESVictim(p *platform.Platform) (*cachesca.Victim, error) {
-	return cachesca.NewVictim(p.Core(0).Hier, VictimKey(), VictimDomain, VictimTableBase)
+	hier := p.Core(0).Hier
+	var v *cachesca.Victim
+	var err error
+	if e.cfg.ConstantTimeAES {
+		v, err = cachesca.NewCTVictim(hier, VictimKey(), VictimDomain, VictimTableBase)
+	} else {
+		v, err = cachesca.NewVictim(hier, VictimKey(), VictimDomain, VictimTableBase)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if e.cfg.FlushOnSwitch {
+		v.OnSwitch = hier.FlushAll
+	}
+	return v, nil
+}
+
+// PowerAESVictim builds the AES victim the §5 power-analysis scenarios
+// trace: first-order masked under the masked-aes defense, unprotected
+// otherwise. The mask generator is seeded from the job seed to keep the
+// cell deterministic.
+func (e *Env) PowerAESVictim() (physical.AESVictim, error) {
+	if e.cfg.MaskedAES {
+		return physical.NewMaskedAESVictim(VictimKey(), e.Seed^0x6d61736b)
+	}
+	return physical.NewUnprotectedAES(VictimKey())
+}
+
+// PowerProbe builds a measurement probe with the cell's hiding
+// countermeasure applied: under clock-jitter (§5) up to TraceJitter
+// random dummy operations per leaked value misalign the traces.
+func (e *Env) PowerProbe(sigma float64, seed int64) *power.Probe {
+	pr := power.PowerProbe(sigma, seed)
+	pr.JitterMax = e.cfg.TraceJitter
+	return pr
 }
 
 // SGX builds the SGX instance for scenarios that target the EPC

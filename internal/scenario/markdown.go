@@ -110,15 +110,22 @@ Two kinds of experiments exist:
 
 ` + "```console" + `
 $ go run ./cmd/intrust attacks                      # this catalog, as a table
-$ go run ./cmd/intrust sweep                        # every (scenario, architecture) cell
+$ go run ./cmd/intrust sweep                        # every (scenario, architecture) cell, stock defenses
 $ go run ./cmd/intrust sweep -attack flush+reload   # one scenario across all architectures
 $ go run ./cmd/intrust sweep -attack cachesca,clkscrew -arch trustzone,sanctuary
+$ go run ./cmd/intrust sweep -defense none,stock,all -diff   # the 3-D defense-efficacy grid
 ` + "```" + `
 
 ` + "`-attack`" + ` accepts scenario names and family names, case-insensitively,
-in any mix; ` + "`all`" + ` anywhere in either axis selects the full axis.
+in any mix; ` + "`all`" + ` anywhere in an axis selects the full axis.
 Not-applicable cells are reported with the paper's reason (e.g. no shared
 caches on embedded platforms) rather than silently skipped.
+
+` + "`-defense`" + ` is the third grid axis: every cell can run with no
+mitigations (` + "`none`" + `), the architecture's paper wiring (` + "`stock`" + `,
+the default), or any mitigation set from the defense catalog — see the
+generated [docs/DEFENSES.md](docs/DEFENSES.md) handbook and
+` + "`intrust defenses`" + `.
 `)
 	return b.String()
 }

@@ -6,7 +6,6 @@ import (
 	"math/rand"
 
 	"github.com/intrust-sim/intrust/internal/attack/physical"
-	"github.com/intrust-sim/intrust/internal/power"
 	"github.com/intrust-sim/intrust/internal/softcrypto"
 )
 
@@ -76,17 +75,20 @@ func physicalScenarios() []Scenario {
 			// than CPA's correlation to separate the key hypotheses.
 			Floor: 1500,
 			Run: func(env *Env) (Outcome, error) {
-				v, err := physical.NewUnprotectedAES(VictimKey())
+				// masked-aes and clock-jitter (§5) act here: the victim may
+				// be first-order masked, and the probe may carry hiding
+				// jitter.
+				v, err := env.PowerAESVictim()
 				if err != nil {
 					return Outcome{}, err
 				}
-				ts := physical.CollectTraces(v, power.PowerProbe(0.5, 1), env.Samples, env.RNG)
+				ts := physical.CollectTraces(v, env.PowerProbe(0.5, 1), env.Samples, env.RNG)
 				got := physical.CorrectBytes(physical.DPAKey(ts), VictimKey())
 				return Outcome{
 					Rows:    Cell("dpa", env.Arch, fmt.Sprintf("%d/16 key bytes @ %d traces", got, env.Samples), LeakIf(got >= 14)),
 					Metrics: map[string]float64{"key_bytes": float64(got)},
 					Verdict: LeakIf(got >= 14),
-					Detail:  "difference-of-means DPA on the device's AES power traces",
+					Detail:  "difference-of-means DPA vs " + env.DefenseLabel(),
 				}, nil
 			},
 		},
@@ -94,17 +96,19 @@ func physicalScenarios() []Scenario {
 			ID: "cpa", In: FamilyPhysical, Section: "5",
 			Summary: "Correlation power analysis (Pearson, Hamming-weight model) on unprotected AES traces",
 			Run: func(env *Env) (Outcome, error) {
-				v, err := physical.NewUnprotectedAES(VictimKey())
+				// Same countermeasure seams as dpa: masked victim and/or
+				// jittered traces.
+				v, err := env.PowerAESVictim()
 				if err != nil {
 					return Outcome{}, err
 				}
-				ts := physical.CollectTraces(v, power.PowerProbe(0.8, 1), env.Samples, env.RNG)
+				ts := physical.CollectTraces(v, env.PowerProbe(0.8, 1), env.Samples, env.RNG)
 				got := physical.CorrectBytes(physical.CPAKey(ts), VictimKey())
 				return Outcome{
 					Rows:    Cell("cpa", env.Arch, fmt.Sprintf("%d/16 key bytes @ %d traces", got, env.Samples), LeakIf(got >= 14)),
 					Metrics: map[string]float64{"key_bytes": float64(got)},
 					Verdict: LeakIf(got >= 14),
-					Detail:  "close-proximity CPA on the device's AES",
+					Detail:  "close-proximity CPA vs " + env.DefenseLabel(),
 				}, nil
 			},
 		},
@@ -140,8 +144,31 @@ func physicalScenarios() []Scenario {
 					return Outcome{}, err
 				}
 				msg := big.NewInt(0xFEEDC0FFEE)
+				fault := &softcrypto.CRTFault{Half: 0, XORMask: 2}
+				if env.DefenseConfig().CRTCheck {
+					// crt-check (§5): verify-before-release suppresses the
+					// faulty signature the attack needs. Should the check
+					// ever release it (a fault model the verification does
+					// not catch), the attack is actually mounted on the
+					// released signature rather than asserted.
+					good, _ := rsaKey.SignCRTChecked(msg, nil)
+					bad, released := rsaKey.SignCRTChecked(msg, fault)
+					if released && good != nil {
+						_, _, ok := physical.Bellcore(rsaKey.N, good, bad)
+						return Outcome{
+							Rows:    Cell("bellcore", env.Arch, "faulty signature released past the check", LeakIf(ok)),
+							Verdict: LeakIf(ok),
+							Detail:  "RSA-CRT check failed to suppress the faulty signature",
+						}, nil
+					}
+					return Outcome{
+						Rows:    Cell("bellcore", env.Arch, "faulty signature suppressed", LeakIf(false)),
+						Verdict: LeakIf(false),
+						Detail:  "RSA-CRT verify-before-release withheld the faulty signature",
+					}, nil
+				}
 				good := rsaKey.SignCRT(msg, nil)
-				bad := rsaKey.SignCRT(msg, &softcrypto.CRTFault{Half: 0, XORMask: 2})
+				bad := rsaKey.SignCRT(msg, fault)
 				_, _, ok := physical.Bellcore(rsaKey.N, good, bad)
 				return Outcome{
 					Rows:    Cell("bellcore", env.Arch, "1 faulty signature", LeakIf(ok)),
@@ -155,18 +182,38 @@ func physicalScenarios() []Scenario {
 			Summary: "CLKSCREW: overclock via the kernel-reachable DVFS regulator to fault the TrustZone secure world",
 			Applies: mobileOnlyDVFS,
 			Run: func(env *Env) (Outcome, error) {
+				jitter := env.DefenseConfig().ClockJitter
 				// An unlucky fault batch can leave the campaign's DFA
 				// ambiguous; like a real attacker, collect a fresh batch
 				// (deterministically derived from the job seed) and retry.
+				// Under clock-jitter every campaign is expected to starve —
+				// that is the mitigation, so one campaign settles the cell
+				// instead of burning 8 full fault budgets.
+				attempts := int64(8)
+				if jitter {
+					attempts = 1
+				}
 				var ck *physical.CLKSCREWResult
 				var err error
-				for attempt := int64(0); attempt < 8; attempt++ {
-					ck, err = physical.CLKSCREW(env.Seed + attempt*0x9E3779B9)
+				for attempt := int64(0); attempt < attempts; attempt++ {
+					ck, err = physical.CLKSCREWDefended(env.Seed+attempt*0x9E3779B9, jitter)
 					if err == nil {
 						break
 					}
 				}
 				if err != nil {
+					if jitter && ck != nil {
+						// clock-jitter (§5): displaced faults fail the DFA's
+						// fault model and the campaign starves — that IS the
+						// mitigation, not an experiment error.
+						return Outcome{
+							Rows: Cell("clkscrew", env.Arch,
+								fmt.Sprintf("0 usable faults in %d invocations", ck.Invocations), LeakIf(false)),
+							Metrics: map[string]float64{"overclock_mhz": float64(ck.OverclockMHz), "invocations": float64(ck.Invocations)},
+							Verdict: LeakIf(false),
+							Detail:  "CLKSCREW vs clock-jitter: injected faults miss the targeted round",
+						}, nil
+					}
 					return Outcome{}, err
 				}
 				return Outcome{

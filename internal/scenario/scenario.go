@@ -134,6 +134,37 @@ func (s *Spec) MinSamples() int { return s.Floor }
 // Describe implements Describer.
 func (s *Spec) Describe() (string, string) { return s.Section, s.Summary }
 
+// Verdict classes of the 3-D sweep: every cell's scenario-specific
+// verdict string normalizes to broken (the attack still recovers the
+// secret), mitigated (it no longer does) or n/a (the attack or the
+// defense has no substrate on the architecture, with the paper's reason).
+const (
+	// ClassBroken marks cells where the attack succeeds despite the
+	// cell's defense configuration.
+	ClassBroken = "broken"
+	// ClassMitigated marks cells where the configuration stops the
+	// attack.
+	ClassMitigated = "mitigated"
+	// ClassNA marks cells with no substrate for the attack or defense.
+	ClassNA = "n/a"
+)
+
+// VerdictClass normalizes a scenario verdict to the sweep's three-valued
+// broken/mitigated/n-a grading. A partial leak counts as broken: the
+// paper's bar for a mitigation is stopping key recovery, not slowing it.
+// Unknown verdicts (engine ERROR rows) normalize to "".
+func VerdictClass(verdict string) string {
+	switch verdict {
+	case "ATTACK SUCCEEDS", "LEAKS", "KEY RECOVERED", "partial leak":
+		return ClassBroken
+	case "defense holds", "blocked":
+		return ClassMitigated
+	case "n/a":
+		return ClassNA
+	}
+	return ""
+}
+
 // Cell renders the sweep's canonical single table row for a scenario
 // outcome: scenario name, architecture, measurement, verdict.
 func Cell(name, arch, measurement, verdict string) [][]string {

@@ -78,12 +78,14 @@ func transientScenarios() []Scenario {
 			ID: "spectre-v1", In: FamilyTransient, Section: "4.2",
 			Summary: "Spectre-PHT bounds-check bypass; expected blocked on in-order cores (no speculation window)",
 			Run: func(env *Env) (Outcome, error) {
-				r, err := transient.SpectreV1(env.Features(), sweepSecret, false)
+				// The spec-barrier defense (§4.2) compiles an lfence-style
+				// barrier after the bounds check.
+				r, err := transient.SpectreV1(env.Features(), sweepSecret, env.DefenseConfig().SpecBarrier)
 				if err != nil {
 					return Outcome{}, err
 				}
 				return transientOutcome("spectre-v1", env,
-					r, fmt.Sprintf("Spectre v1 on the %s-class core", env.Class)), nil
+					r, fmt.Sprintf("Spectre v1 on the %s-class core vs %s", env.Class, env.DefenseLabel())), nil
 			},
 		},
 		&Spec{
@@ -91,12 +93,15 @@ func transientScenarios() []Scenario {
 			Summary: "Spectre-BTB: cross-training an indirect branch to a disclosure gadget the victim never calls",
 			Applies: needsSpeculativeStructure("branch-target buffer"),
 			Run: func(env *Env) (Outcome, error) {
-				r, err := transient.SpectreBTB(env.Features(), sweepSecret, false)
+				// The btb-flush defense (§4.2) flushes predictor state on
+				// context switches (IBPB), untraining the attacker's BTB
+				// entries before the victim runs.
+				r, err := transient.SpectreBTB(env.Features(), sweepSecret, env.DefenseConfig().PredictorFlush)
 				if err != nil {
 					return Outcome{}, err
 				}
 				return transientOutcome("spectre-btb", env,
-					r, fmt.Sprintf("BTB cross-training on the %s-class core", env.Class)), nil
+					r, fmt.Sprintf("BTB cross-training on the %s-class core vs %s", env.Class, env.DefenseLabel())), nil
 			},
 		},
 		&Spec{

@@ -226,6 +226,19 @@ func (k *RSAKey) SignCRT(msg *big.Int, fault *CRTFault) *big.Int {
 	return s
 }
 
+// SignCRTChecked is SignCRT with the verify-before-release fault check
+// (Shamir's countermeasure family, paper §5): the signer re-verifies the
+// CRT result against the public exponent and withholds it when the check
+// trips. A Bellcore attacker therefore never observes the faulty
+// signature it needs — ok reports whether a signature was released.
+func (k *RSAKey) SignCRTChecked(msg *big.Int, fault *CRTFault) (*big.Int, bool) {
+	s := k.SignCRT(msg, fault)
+	if !k.Verify(msg, s) {
+		return nil, false
+	}
+	return s, true
+}
+
 // Verify checks s^e == m mod n.
 func (k *RSAKey) Verify(msg, sig *big.Int) bool {
 	v := new(big.Int).Exp(sig, k.E, k.N)

@@ -20,13 +20,17 @@
 // Every attack variant is also a registered Scenario in the
 // internal/scenario catalog (re-exported below), mountable against any
 // architecture from one typed environment; see EXPERIMENTS.md for the
-// generated index.
+// generated index. Symmetrically, every mitigation the paper surveys is
+// a registered Defense in the internal/defense catalog — the third axis
+// of the sweep's scenario × architecture × defense efficacy grid; see
+// the generated docs/DEFENSES.md handbook.
 //
 // See examples/ for runnable walkthroughs and cmd/intrust for the
 // experiment CLI.
 package intrust
 
 //go:generate go run ./cmd/intrust attacks -markdown -o EXPERIMENTS.md
+//go:generate go run ./cmd/intrust defenses -markdown -o docs/DEFENSES.md
 
 import (
 	"github.com/intrust-sim/intrust/internal/attack/cachesca"
@@ -35,6 +39,7 @@ import (
 	"github.com/intrust-sim/intrust/internal/attest"
 	"github.com/intrust-sim/intrust/internal/core"
 	"github.com/intrust-sim/intrust/internal/cpu"
+	"github.com/intrust-sim/intrust/internal/defense"
 	"github.com/intrust-sim/intrust/internal/engine"
 	"github.com/intrust-sim/intrust/internal/isa"
 	"github.com/intrust-sim/intrust/internal/platform"
@@ -63,15 +68,26 @@ type (
 
 // Platform constructors for the three classes of Figure 1.
 var (
-	NewServerPlatform   = platform.NewServer
-	NewMobilePlatform   = platform.NewMobile
+	// NewServerPlatform assembles the stationary high-performance
+	// platform: speculative cores, deep cache hierarchy, shared LLC (§2).
+	NewServerPlatform = platform.NewServer
+	// NewMobilePlatform assembles the mobile platform: TrustZone-style
+	// worlds and a software-reachable DVFS regulator (§2, §5 CLKSCREW).
+	NewMobilePlatform = platform.NewMobile
+	// NewEmbeddedPlatform assembles the embedded/IoT platform: one
+	// in-order cacheless core with an MPU (§2).
 	NewEmbeddedPlatform = platform.NewEmbedded
 )
 
 // Core feature presets.
 var (
-	HighEndFeatures  = cpu.HighEndFeatures
-	MobileFeatures   = cpu.MobileFeatures
+	// HighEndFeatures enables speculation, fault forwarding and the deep
+	// predictor structures of the server-class core (§4.2 surface).
+	HighEndFeatures = cpu.HighEndFeatures
+	// MobileFeatures is the mobile core's reduced speculative profile.
+	MobileFeatures = cpu.MobileFeatures
+	// EmbeddedFeatures is the in-order embedded core: no speculation
+	// window at all (§4.2: simple cores block Spectre by construction).
 	EmbeddedFeatures = cpu.EmbeddedFeatures
 )
 
@@ -95,20 +111,34 @@ type (
 
 // Architecture constructors (Section 3).
 var (
-	NewSGX       = sgx.New
-	NewSanctum   = sanctum.New
+	// NewSGX builds Intel SGX: EPC, MEE, local/remote attestation (§3.1).
+	NewSGX = sgx.New
+	// NewSanctum builds Sanctum: enclaves with LLC partitioning (§3.1).
+	NewSanctum = sanctum.New
+	// NewTrustZone builds ARM TrustZone: two worlds, one secure OS (§3.2).
 	NewTrustZone = trustzone.New
+	// NewSanctuary builds Sanctuary: TrustZone-based user-space enclaves
+	// with cache exclusion (§3.2).
 	NewSanctuary = sanctuary.New
-	NewSMART     = smart.New
-	NewSancus    = sancus.New
+	// NewSMART builds SMART: a ROM-rooted attestation primitive (§3.3).
+	NewSMART = smart.New
+	// NewSancus builds Sancus: zero-software-TCB protected modules (§3.3).
+	NewSancus = sancus.New
+	// NewTrustLite builds TrustLite: EA-MPU-isolated trustlets (§3.3).
 	NewTrustLite = trustlite.New
-	NewTyTAN     = tytan.New
+	// NewTyTAN builds TyTAN: TrustLite plus dynamic loading and secure
+	// IPC with real-time guarantees (§3.3).
+	NewTyTAN = tytan.New
 )
 
 // Architecture probes backing the TAB2 matrix.
 var (
-	ProbeDMA      = tee.ProbeDMA
+	// ProbeDMA attacks an enclave's memory through a DMA engine (§3).
+	ProbeDMA = tee.ProbeDMA
+	// ProbeBusSnoop reads enclave memory straight off the bus — blocked
+	// only by memory encryption (§3.1 MEE).
 	ProbeBusSnoop = tee.ProbeBusSnoop
+	// ProbeOSAccess attacks enclave memory from the compromised OS (§2).
 	ProbeOSAccess = tee.ProbeOSAccess
 )
 
@@ -126,12 +156,18 @@ type (
 
 // Attestation helpers.
 var (
-	Measure      = attest.Measure
-	NewVerifier  = attest.NewVerifier
+	// Measure hashes code into an identity (SHA-256 measurement).
+	Measure = attest.Measure
+	// NewVerifier builds a verifier with nonce-freshness tracking.
+	NewVerifier = attest.NewVerifier
+	// VerifyReport checks a MAC-based local attestation report.
 	VerifyReport = attest.VerifyReport
-	VerifyQuote  = attest.VerifyQuote
-	Seal         = attest.Seal
-	Unseal       = attest.Unseal
+	// VerifyQuote checks an ECDSA-signed remote attestation quote.
+	VerifyQuote = attest.VerifyQuote
+	// Seal encrypts data to a measurement-derived key.
+	Seal = attest.Seal
+	// Unseal reverses Seal under the same identity.
+	Unseal = attest.Unseal
 )
 
 // Cache side-channel attacks (Section 4.1).
@@ -144,12 +180,22 @@ type (
 
 // Cache attack entry points.
 var (
+	// NewCacheVictim places the T-table AES victim in the simulated
+	// address space (§4.1).
 	NewCacheVictim = cachesca.NewVictim
-	FlushReload    = cachesca.FlushReload
-	PrimeProbe     = cachesca.PrimeProbe
-	EvictTime      = cachesca.EvictTime
-	TLBAttack      = cachesca.TLBAttack
-	BranchShadow   = cachesca.BranchShadow
+	// NewCTCacheVictim places the constant-time AES victim — the §4.1
+	// software countermeasure the ct-aes defense mounts.
+	NewCTCacheVictim = cachesca.NewCTVictim
+	// FlushReload mounts Flush+Reload (Yarom–Falkner) key recovery.
+	FlushReload = cachesca.FlushReload
+	// PrimeProbe mounts Prime+Probe (Osvik–Shamir–Tromer) via the LLC.
+	PrimeProbe = cachesca.PrimeProbe
+	// EvictTime mounts the whole-encryption Evict+Time timing attack.
+	EvictTime = cachesca.EvictTime
+	// TLBAttack mounts the TLBleed-style TLB prime+probe channel.
+	TLBAttack = cachesca.TLBAttack
+	// BranchShadow mounts BTB/PHT branch shadowing (Lee et al.).
+	BranchShadow = cachesca.BranchShadow
 )
 
 // Transient-execution attacks (Section 4.2).
@@ -160,32 +206,58 @@ type (
 
 // Transient attack entry points.
 var (
-	SpectreV1     = transient.SpectreV1
-	SpectreBTB    = transient.SpectreBTB
-	Ret2spec      = transient.Ret2spec
-	Meltdown      = transient.Meltdown
+	// SpectreV1 mounts the bounds-check-bypass attack (§4.2), optionally
+	// under the spec-barrier (lfence) mitigation.
+	SpectreV1 = transient.SpectreV1
+	// SpectreBTB cross-trains an indirect branch to a disclosure gadget,
+	// optionally under the btb-flush (IBPB) mitigation.
+	SpectreBTB = transient.SpectreBTB
+	// Ret2spec poisons the return stack buffer (§4.2).
+	Ret2spec = transient.Ret2spec
+	// Meltdown exploits fault-deferred forwarding (§4.2).
+	Meltdown = transient.Meltdown
+	// ForeshadowSGX extracts the quoting enclave's attestation key via
+	// an L1 terminal fault (§4.2).
 	ForeshadowSGX = transient.ForeshadowSGX
 )
 
 // Classical physical attacks (Section 5).
 var (
+	// CollectTimingSamples times square-and-multiply RSA exponentiations.
 	CollectTimingSamples = physical.CollectTimingSamples
-	KocherTiming         = physical.KocherTiming
-	CollectTraces        = physical.CollectTraces
-	CPAKey               = physical.CPAKey
-	DPAKey               = physical.DPAKey
-	TracesToDisclosure   = physical.TracesToDisclosure
-	PiretQuisquater      = physical.PiretQuisquater
-	NewFaultOracle       = physical.NewFaultOracle
-	Bellcore             = physical.Bellcore
-	GlitchCampaign       = physical.GlitchCampaign
-	CLKSCREW             = physical.CLKSCREW
+	// KocherTiming votes exponent bits from timing samples (§5).
+	KocherTiming = physical.KocherTiming
+	// CollectTraces records power/EM traces of AES encryptions.
+	CollectTraces = physical.CollectTraces
+	// CPAKey recovers the key by Pearson correlation (§5 CPA).
+	CPAKey = physical.CPAKey
+	// DPAKey recovers the key by difference of means (§5 DPA).
+	DPAKey = physical.DPAKey
+	// TracesToDisclosure counts traces until full key disclosure.
+	TracesToDisclosure = physical.TracesToDisclosure
+	// PiretQuisquater runs the differential fault attack on AES (§5).
+	PiretQuisquater = physical.PiretQuisquater
+	// NewFaultOracle builds a faultable AES encryption oracle.
+	NewFaultOracle = physical.NewFaultOracle
+	// Bellcore factors the RSA modulus from one faulty CRT signature
+	// (§5), unless the crt-check countermeasure suppresses it.
+	Bellcore = physical.Bellcore
+	// GlitchCampaign sweeps glitch parameters for the fault sweet spot.
+	GlitchCampaign = physical.GlitchCampaign
+	// CLKSCREW mounts the DVFS overclocking fault attack on the
+	// TrustZone secure world (§5).
+	CLKSCREW = physical.CLKSCREW
+	// CLKSCREWDefended is CLKSCREW against an optionally clock-jittered
+	// secure world (§5 fault countermeasure).
+	CLKSCREWDefended = physical.CLKSCREWDefended
 )
 
 // Power probes for side-channel collection.
 var (
+	// PowerProbe models a shunt-resistor power measurement (§5).
 	PowerProbe = power.PowerProbe
-	EMProbe    = power.EMProbe
+	// EMProbe models a near-field electromagnetic probe (§5).
+	EMProbe = power.EMProbe
 )
 
 // Evaluation engine: the paper's figure and tables, from measurement.
@@ -199,11 +271,16 @@ type (
 // Experiment entry points (see the generated EXPERIMENTS.md for the
 // full index of artifacts and scenarios).
 var (
-	Figure1             = core.Figure1
+	// Figure1 regenerates the §2 adversary/requirement heatmap.
+	Figure1 = core.Figure1
+	// Table2Architectures regenerates the §3 feature matrix by probe.
 	Table2Architectures = core.Table2Architectures
-	Table3CacheSCA      = core.Table3CacheSCA
-	Table4Transient     = core.Table4Transient
-	Table5Physical      = core.Table5Physical
+	// Table3CacheSCA regenerates the §4.1 attack×defense matrix.
+	Table3CacheSCA = core.Table3CacheSCA
+	// Table4Transient regenerates the §4.2 attack×configuration matrix.
+	Table4Transient = core.Table4Transient
+	// Table5Physical regenerates the §5 attack×countermeasure matrix.
+	Table5Physical = core.Table5Physical
 )
 
 // Unified attack-scenario API: every attack variant is a self-registered
@@ -228,14 +305,71 @@ type (
 
 // Scenario registry entry points (the default process-wide catalog).
 var (
-	RegisterScenario        = scenario.Register
-	LookupScenario          = scenario.Lookup
-	AllScenarios            = scenario.All
-	ScenariosByFamily       = scenario.ByFamily
-	ScenarioFamilies        = scenario.Families
-	NewScenarioEnv          = scenario.NewEnv
-	NewScenarioRegistry     = scenario.NewRegistry
+	// RegisterScenario adds a scenario to the default catalog.
+	RegisterScenario = scenario.Register
+	// LookupScenario finds a scenario by name, case-insensitively.
+	LookupScenario = scenario.Lookup
+	// AllScenarios enumerates the catalog in deterministic order.
+	AllScenarios = scenario.All
+	// ScenariosByFamily enumerates one attack family of the catalog.
+	ScenariosByFamily = scenario.ByFamily
+	// ScenarioFamilies lists the catalog's populated families.
+	ScenarioFamilies = scenario.Families
+	// NewScenarioEnv builds a mount environment with the architecture's
+	// stock defenses (the paper's §4.1 wiring).
+	NewScenarioEnv = scenario.NewEnv
+	// NewScenarioEnvWithDefenses builds a mount environment under an
+	// explicit mitigation set — the sweep's defense axis.
+	NewScenarioEnvWithDefenses = scenario.NewEnvWithDefenses
+	// NewScenarioRegistry returns an empty scenario registry.
+	NewScenarioRegistry = scenario.NewRegistry
+	// ScenarioCatalogMarkdown renders the registry as EXPERIMENTS.md.
 	ScenarioCatalogMarkdown = scenario.CatalogMarkdown
+	// ScenarioVerdictClass normalizes a cell verdict to the sweep's
+	// broken/mitigated/n-a grading.
+	ScenarioVerdictClass = scenario.VerdictClass
+)
+
+// Defense axis: every mitigation the paper surveys — the §4.1 cache
+// isolation mechanisms, the §4.2 speculation controls and the §5
+// side-channel/fault countermeasures — is a self-registered Defense in a
+// process-wide catalog mirroring the scenario registry. A Defense is a
+// pure configuration transform applied at platform/victim construction;
+// the sweep toggles them per cell to measure the paper's defense-efficacy
+// matrix (which attacks each mitigation blocks, and which it leaves
+// open).
+type (
+	// Defense is one mitigation as an enumerable, toggleable unit.
+	Defense = defense.Defense
+	// DefenseSpec is the declarative Defense implementation used by the
+	// built-in catalog (and available for custom registrations).
+	DefenseSpec = defense.Spec
+	// DefenseConfig is the wiring a Defense transforms: platform hooks
+	// plus victim-construction knobs.
+	DefenseConfig = defense.Config
+	// DefenseRegistry is a concurrency-safe defense catalog.
+	DefenseRegistry = defense.Registry
+)
+
+// Defense registry entry points (the default process-wide catalog).
+var (
+	// RegisterDefense adds a defense to the default catalog.
+	RegisterDefense = defense.Register
+	// LookupDefense finds a defense by name, case-insensitively.
+	LookupDefense = defense.Lookup
+	// AllDefenses enumerates the catalog in deterministic order.
+	AllDefenses = defense.All
+	// DefensesByFamily enumerates the defenses countering one family.
+	DefensesByFamily = defense.ByFamily
+	// DefenseFamilies lists the catalog's populated countered families.
+	DefenseFamilies = defense.Families
+	// StockDefenses lists an architecture's paper-stock defenses,
+	// resolved from registry metadata (never hard-coded).
+	StockDefenses = defense.StockFor
+	// NewDefenseRegistry returns an empty defense registry.
+	NewDefenseRegistry = defense.NewRegistry
+	// DefenseCatalogMarkdown renders the registry as docs/DEFENSES.md.
+	DefenseCatalogMarkdown = defense.CatalogMarkdown
 )
 
 // Concurrent experiment engine: composable experiments on a worker pool
@@ -257,17 +391,35 @@ type (
 
 // Engine entry points.
 var (
-	NewEngine       = engine.New
+	// NewEngine builds a worker-pool engine (0 = GOMAXPROCS workers).
+	NewEngine = engine.New
+	// NewEngineReport assembles the machine-readable run artifact.
 	NewEngineReport = engine.NewReport
-	ReadReport      = engine.ReadReport
-	Summarize       = engine.Summarize
+	// ReadReport parses a JSON engine report back.
+	ReadReport = engine.ReadReport
+	// Summarize aggregates results into verdict counts and timings.
+	Summarize = engine.Summarize
 )
 
-// Sweep: the attack×architecture cross-product as engine experiments
-// (the `intrust sweep` CLI mode).
+// Sweep: the scenario × architecture × defense cross-product as engine
+// experiments (the `intrust sweep` CLI mode).
 var (
-	SweepExperiments  = core.SweepExperiments
-	SweepTable        = core.SweepTable
-	AllArchitectures  = core.AllArchitectures
+	// SweepExperiments enumerates the 3-D grid as engine jobs; the
+	// defense axis accepts registered names, "+"-combinations, and the
+	// tokens none, stock and all (empty defaults to stock).
+	SweepExperiments = core.SweepExperiments
+	// SweepTable renders sweep results with per-cell defense labels and
+	// broken/mitigated/n-a classes.
+	SweepTable = core.SweepTable
+	// SweepDiff tabulates the cells each defense flips versus the
+	// undefended ("none") baseline.
+	SweepDiff = core.SweepDiff
+	// AllArchitectures lists the sweepable architecture keys (§3 order).
+	AllArchitectures = core.AllArchitectures
+	// AllAttackFamilies lists the sweepable attack families (§4.1, §4.2,
+	// §5).
 	AllAttackFamilies = core.AllAttackFamilies
+	// AllDefenseNames lists the registered mitigation names on the
+	// -defense axis.
+	AllDefenseNames = core.AllDefenseNames
 )
