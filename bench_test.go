@@ -17,6 +17,7 @@ import (
 	"github.com/intrust-sim/intrust/internal/platform"
 	"github.com/intrust-sim/intrust/internal/power"
 	"github.com/intrust-sim/intrust/internal/softcrypto"
+	"github.com/intrust-sim/intrust/internal/stats"
 )
 
 // ---------------------------------------------------------------------
@@ -29,19 +30,35 @@ import (
 // flat and serial/wall only measures scheduling overlap, not speedup.
 // ---------------------------------------------------------------------
 
+// reportSweepMetrics attaches the cross-PR tracking metrics to a sweep
+// benchmark: throughput in grid cells per second and the mean realized
+// sample cost per cell (adaptive SamplesUsed where cells carry a
+// sampling decision, the nominal budget otherwise; n/a and one-shot
+// cells have no sample dimension and count zero samples but do count as
+// cells).
+func reportSweepMetrics(b *testing.B, results []engine.Result) {
+	b.Helper()
+	cells := len(results)
+	b.ReportMetric(float64(cells), "grid-cells")
+	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/sec")
+	s := engine.Summarize(results, 0)
+	b.ReportMetric(float64(s.TotalSamples)/float64(cells), "samples/cell")
+}
+
 // BenchmarkSweep runs the full scenario-registry × architecture grid
 // (every registered scenario against all eight architectures) on the
-// default pool — the CI smoke for the redesigned sweep, and the headline
-// cell-count metric.
+// default pool under the default adaptive sampling policy — the CI smoke
+// for the sweep, and the headline cells/sec + samples/cell metrics.
 func BenchmarkSweep(b *testing.B) {
-	exps, err := core.SweepExperiments(nil, nil, nil, 64)
+	exps, err := core.SweepExperimentsWith(nil, nil, nil, core.SweepOptions{Samples: 64, Adaptive: &stats.Policy{}})
 	if err != nil {
 		b.Fatal(err)
 	}
 	eng := engine.New(0)
+	var results []engine.Result
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		results, err := eng.Run(context.Background(), exps)
+		results, err = eng.Run(context.Background(), exps)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -49,29 +66,58 @@ func BenchmarkSweep(b *testing.B) {
 			b.Fatalf("sweep covered %d cells, want >= 100", len(results))
 		}
 	}
-	b.ReportMetric(float64(len(exps)), "grid-cells")
+	reportSweepMetrics(b, results)
 }
 
 // BenchmarkSweepDefenseAxis runs the full grid with the defense axis
-// engaged (undefended baseline + the paper's stock wiring) — the CI smoke
-// for the 3-D sweep, next to BenchmarkSweep's 2-D smoke.
+// engaged (undefended baseline + the paper's stock wiring) in both
+// sampling modes — the CI smoke for the 3-D sweep, and the benchmark
+// that tracks the adaptive engine's sample saving: at the default
+// confidence the adaptive run must burn at most half the fixed-budget
+// samples on the same cells while reproducing every verdict.
 func BenchmarkSweepDefenseAxis(b *testing.B) {
-	exps, err := core.SweepExperiments(nil, nil, []string{"none", "stock"}, 64)
-	if err != nil {
-		b.Fatal(err)
+	for _, mode := range []struct {
+		name string
+		opt  core.SweepOptions
+	}{
+		{"fixed", core.SweepOptions{Samples: 64}},
+		{"adaptive", core.SweepOptions{Samples: 64, Adaptive: &stats.Policy{}}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			exps, err := core.SweepExperimentsWith(nil, nil, []string{"none", "stock"}, mode.opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := engine.New(0)
+			var results []engine.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err = eng.Run(context.Background(), exps)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != len(exps) {
+					b.Fatalf("sweep covered %d cells, want %d", len(results), len(exps))
+				}
+			}
+			reportSweepMetrics(b, results)
+			if mode.opt.Adaptive != nil {
+				// The acceptance bar: >= 2x fewer samples than the same
+				// cells cost under fixed budgets (one-shot cells, which
+				// have no sample dimension, are excluded on both sides).
+				s := engine.Summarize(results, 0)
+				if s.TotalSamples == 0 || s.FixedSamples == 0 {
+					b.Fatal("adaptive run carries no sampling decisions")
+				}
+				saving := float64(s.FixedSamples) / float64(s.TotalSamples)
+				b.ReportMetric(saving, "sample-saving-x")
+				if saving < 2 {
+					b.Fatalf("adaptive sampling saved only %.2fx samples (%d vs %d fixed), want >= 2x",
+						saving, s.TotalSamples, s.FixedSamples)
+				}
+			}
+		})
 	}
-	eng := engine.New(0)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		results, err := eng.Run(context.Background(), exps)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(results) != len(exps) {
-			b.Fatalf("sweep covered %d cells, want %d", len(results), len(exps))
-		}
-	}
-	b.ReportMetric(float64(len(exps)), "grid-cells")
 }
 
 // BenchmarkEngineSweep runs the full attack×architecture cross-product

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	intrust [-quick] [fig1|arch|cachesca|transient|physical|all]
-//	intrust sweep [-arch a,b|all] [-attack scenario|family,...|all] [-defense none|stock|name,...|all] [-samples N] [-parallel N] [-json] [-diff]
+//	intrust sweep [-arch a,b|all] [-attack scenario|family,...|all] [-defense none|stock|name,...|all] [-samples N] [-confidence C] [-maxsamples N] [-parallel N] [-json] [-diff]
 //	intrust attacks [-family f] [-markdown] [-o file]
 //	intrust defenses [-family f] [-markdown] [-o file]
 //
@@ -19,6 +19,13 @@
 // resolved from the defense registry) and all; `intrust defenses` lists
 // that catalog, and -diff reports which cells each defense flips versus
 // the undefended baseline.
+//
+// Sweeps run under the adaptive sequential-sampling verdict engine by
+// default: every cell measures in cumulative checkpoint passes that stop
+// as soon as its broken/mitigated verdict separates at the -confidence
+// target, hard cells escalate up to the -maxsamples cap, and each row
+// reports its realized sample cost and verdict confidence.
+// -confidence 0 restores the fixed per-cell budget.
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"github.com/intrust-sim/intrust/internal/defense"
 	"github.com/intrust-sim/intrust/internal/engine"
 	"github.com/intrust-sim/intrust/internal/scenario"
+	"github.com/intrust-sim/intrust/internal/stats"
 )
 
 func main() {
@@ -193,7 +201,11 @@ func runSweep(args []string) int {
 	archFlag := fs.String("arch", "all", "comma-separated architectures ("+strings.Join(core.AllArchitectures, ",")+") or all")
 	attackFlag := fs.String("attack", "all", "comma-separated scenario or family names (see `intrust attacks`) or all")
 	defenseFlag := fs.String("defense", "stock", "comma-separated defense axis: none|stock|all, names from `intrust defenses`, or +combinations")
-	samples := fs.Int("samples", 256, "sample budget per experiment (traces, probe rounds)")
+	samples := fs.Int("samples", 256, "sample budget per experiment (traces, probe rounds); the adaptive reference budget")
+	confidence := fs.Float64("confidence", stats.DefaultConfidence,
+		"adaptive sampling: per-cell verdict confidence target in [0.5,1); 0 disables adaptive sampling (fixed budgets)")
+	maxSamples := fs.Int("maxsamples", 0,
+		"adaptive sampling: per-cell sample cap for hard cells (0 = 4x the reference budget)")
 	parallel := fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
 	jsonOut := fs.Bool("json", false, "emit the machine-readable engine report instead of the text table")
 	diff := fs.Bool("diff", false, "also report which cells each defense flips versus the none baseline (adds none to the axis)")
@@ -218,7 +230,17 @@ func runSweep(args []string) int {
 			defenses = append([]string{"none"}, defenses...)
 		}
 	}
-	exps, err := core.SweepExperiments(splitList(*archFlag), splitList(*attackFlag), defenses, *samples)
+	if *confidence != 0 && (*confidence < 0.5 || *confidence >= 1) {
+		// Below even odds the sequential test is meaningless; reject
+		// explicitly rather than silently clamping to 0.5.
+		fmt.Fprintln(os.Stderr, "sweep: -confidence must be in [0.5,1), or 0 to disable adaptive sampling")
+		return 2
+	}
+	opt := core.SweepOptions{Samples: *samples}
+	if *confidence > 0 {
+		opt.Adaptive = &stats.Policy{Confidence: *confidence, MaxSamples: *maxSamples}
+	}
+	exps, err := core.SweepExperimentsWith(splitList(*archFlag), splitList(*attackFlag), defenses, opt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		return 2
@@ -236,6 +258,8 @@ func runSweep(args []string) int {
 	} else {
 		fmt.Print(core.SweepTable(results).String())
 		s := engine.Summarize(results, wall)
+		// The adaptive saving itself is already a note under the table
+		// (SweepTable's samplingNote); don't render the numbers twice.
 		fmt.Printf("[%d experiments on %d workers in %v (serial cost %v); %s]\n",
 			s.Experiments, eng.Parallel, wall.Round(time.Millisecond),
 			time.Duration(s.TotalNS).Round(time.Millisecond),

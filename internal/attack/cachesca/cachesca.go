@@ -168,14 +168,31 @@ func (s *scoreboard) grade(key []byte) int {
 	return correct
 }
 
-// FlushReload runs the Flush+Reload attack: the attacker shares the table
+// FlushReloadRun is a resumable Flush+Reload attack: Extend adds samples
+// to the cumulative scoreboard and Result grades what has been gathered
+// so far. Extending a run in increments consumes the RNG exactly like one
+// larger FlushReload call, so sequential sampling is bit-compatible with
+// the fixed-budget measurement.
+type FlushReloadRun struct {
+	v         *Victim
+	attacker  int
+	threshold int
+	sb        scoreboard
+	samples   int
+}
+
+// NewFlushReloadRun prepares the attack: the attacker shares the table
 // pages with the victim (shared library / page dedup), flushes the lines,
 // lets the victim encrypt, and reloads each line timing the access.
-func FlushReload(v *Victim, samples int, attackerDomain int, rng *rand.Rand) Result {
-	var sb scoreboard
-	threshold := v.hier.HitLatency() + 2
+func NewFlushReloadRun(v *Victim, attackerDomain int) *FlushReloadRun {
+	return &FlushReloadRun{v: v, attacker: attackerDomain, threshold: v.hier.HitLatency() + 2}
+}
+
+// Extend gathers n more samples.
+func (fr *FlushReloadRun) Extend(n int, rng *rand.Rand) {
+	v := fr.v
 	pt := make([]byte, 16)
-	for n := 0; n < samples; n++ {
+	for ; n > 0; n-- {
 		rng.Read(pt)
 		// Flush every line of all four T-tables.
 		for tab := 0; tab < 4; tab++ {
@@ -188,25 +205,52 @@ func FlushReload(v *Victim, samples int, attackerDomain int, rng *rand.Rand) Res
 		var hot [4][16]bool
 		for tab := 0; tab < 4; tab++ {
 			for line := 0; line < linesPerTab; line++ {
-				r := v.hier.Data(v.base+uint32(tab)*tableStride+uint32(line*lineSize), false, attackerDomain)
-				hot[tab][line] = r.Latency <= threshold
+				r := v.hier.Data(v.base+uint32(tab)*tableStride+uint32(line*lineSize), false, fr.attacker)
+				hot[tab][line] = r.Latency <= fr.threshold
 			}
 		}
 		for i := 0; i < 16; i++ {
-			sb.add(i, pt[i], hot[i%4], 1)
+			fr.sb.add(i, pt[i], hot[i%4], 1)
 		}
+		fr.samples++
 	}
-	correct := sb.grade(v.key)
-	return Result{Attack: "flush+reload", Samples: samples,
+}
+
+// Result grades the samples gathered so far.
+func (fr *FlushReloadRun) Result() Result {
+	correct := fr.sb.grade(fr.v.key)
+	return Result{Attack: "flush+reload", Samples: fr.samples,
 		NibblesCorrect: correct, Success: correct >= 14}
 }
 
-// PrimeProbe runs the Prime+Probe attack through the shared LLC: the
-// attacker fills the LLC sets backing the victim's table lines with its
-// own data, lets the victim encrypt, then re-touches its data counting
-// evictions. No shared memory needed.
-func PrimeProbe(v *Victim, llc *cache.Cache, samples int, attackerDomain int, rng *rand.Rand) Result {
-	var sb scoreboard
+// FlushReload runs the Flush+Reload attack at a fixed sample budget.
+func FlushReload(v *Victim, samples int, attackerDomain int, rng *rand.Rand) Result {
+	run := NewFlushReloadRun(v, attackerDomain)
+	run.Extend(samples, rng)
+	return run.Result()
+}
+
+// PrimeProbeRun is a resumable Prime+Probe attack through the shared LLC
+// (see FlushReloadRun for the Extend/Result contract).
+type PrimeProbeRun struct {
+	v        *Victim
+	llc      *cache.Cache
+	attacker int
+	sb       scoreboard
+	samples  int
+}
+
+// NewPrimeProbeRun prepares the attack: the attacker fills the LLC sets
+// backing the victim's table lines with its own data, lets the victim
+// encrypt, then re-touches its data counting evictions. No shared memory
+// needed.
+func NewPrimeProbeRun(v *Victim, llc *cache.Cache, attackerDomain int) *PrimeProbeRun {
+	return &PrimeProbeRun{v: v, llc: llc, attacker: attackerDomain}
+}
+
+// Extend gathers n more samples.
+func (pp *PrimeProbeRun) Extend(n int, rng *rand.Rand) {
+	v, llc := pp.v, pp.llc
 	cfg := llc.Config()
 	stride := uint32(cfg.Sets * cfg.LineSize)
 	attackerBase := uint32(0x2000000)
@@ -221,13 +265,13 @@ func PrimeProbe(v *Victim, llc *cache.Cache, samples int, attackerDomain int, rn
 		}
 		return out
 	}
-	for n := 0; n < samples; n++ {
+	for ; n > 0; n-- {
 		rng.Read(pt)
 		// Prime all table-line sets.
 		for tab := 0; tab < 4; tab++ {
 			for line := 0; line < linesPerTab; line++ {
 				for _, a := range evictionSet(v.base + uint32(tab)*tableStride + uint32(line*lineSize)) {
-					llc.Access(a, false, attackerDomain)
+					llc.Access(a, false, pp.attacker)
 				}
 			}
 		}
@@ -238,7 +282,7 @@ func PrimeProbe(v *Victim, llc *cache.Cache, samples int, attackerDomain int, rn
 			for line := 0; line < linesPerTab; line++ {
 				misses := 0
 				for _, a := range evictionSet(v.base + uint32(tab)*tableStride + uint32(line*lineSize)) {
-					if !llc.Access(a, false, attackerDomain) {
+					if !llc.Access(a, false, pp.attacker) {
 						misses++
 					}
 				}
@@ -246,12 +290,24 @@ func PrimeProbe(v *Victim, llc *cache.Cache, samples int, attackerDomain int, rn
 			}
 		}
 		for i := 0; i < 16; i++ {
-			sb.add(i, pt[i], hot[i%4], 1)
+			pp.sb.add(i, pt[i], hot[i%4], 1)
 		}
+		pp.samples++
 	}
-	correct := sb.grade(v.key)
-	return Result{Attack: "prime+probe", Samples: samples,
+}
+
+// Result grades the samples gathered so far.
+func (pp *PrimeProbeRun) Result() Result {
+	correct := pp.sb.grade(pp.v.key)
+	return Result{Attack: "prime+probe", Samples: pp.samples,
 		NibblesCorrect: correct, Success: correct >= 14}
+}
+
+// PrimeProbe runs the Prime+Probe attack at a fixed sample budget.
+func PrimeProbe(v *Victim, llc *cache.Cache, samples int, attackerDomain int, rng *rand.Rand) Result {
+	run := NewPrimeProbeRun(v, llc, attackerDomain)
+	run.Extend(samples, rng)
+	return run.Result()
 }
 
 // EvictTime runs the Evict+Time attack: warm the tables, evict one
@@ -262,14 +318,36 @@ func PrimeProbe(v *Victim, llc *cache.Cache, samples int, attackerDomain int, rn
 // time of predicted-touch samples exceeds the rest. Slower and noisier
 // than the resident-attacker techniques, as published.
 func EvictTime(v *Victim, samples int, rng *rand.Rand) Result {
+	run := NewEvictTimeRun(v)
+	run.Extend(samples, rng)
+	return run.Result()
+}
+
+// EvictTimeRun is the resumable form of EvictTime (see FlushReloadRun for
+// the Extend/Result contract). The per-sample evicted-line rotation keys
+// on the cumulative sample index, so extending in increments measures the
+// same sequence as one larger EvictTime call.
+type EvictTimeRun struct {
+	v *Victim
 	// Differential scoring per (byte, guess): mean time when the guess
 	// predicts the evicted line was touched vs when it does not.
-	var sumIn, sumOut, nIn, nOut [16][16]float64
+	sumIn, sumOut, nIn, nOut [16][16]float64
+	samples                  int
+}
+
+// NewEvictTimeRun prepares the attack.
+func NewEvictTimeRun(v *Victim) *EvictTimeRun {
+	return &EvictTimeRun{v: v}
+}
+
+// Extend gathers n more timed encryptions.
+func (et *EvictTimeRun) Extend(n int, rng *rand.Rand) {
+	v := et.v
 	pt := make([]byte, 16)
-	for n := 0; n < samples; n++ {
+	for ; n > 0; n-- {
 		rng.Read(pt)
-		line := n % linesPerTab
-		tab := (n / linesPerTab) % 4
+		line := et.samples % linesPerTab
+		tab := (et.samples / linesPerTab) % 4
 		// Deterministically warm every table line, then evict the target.
 		for tb := 0; tb < 5; tb++ {
 			for l := 0; l < linesPerTab; l++ {
@@ -283,32 +361,37 @@ func EvictTime(v *Victim, samples int, rng *rand.Rand) Result {
 				// Guess k as the upper nibble of key byte i.
 				predictedLine := int(pt[i]>>4) ^ k
 				if predictedLine == line {
-					sumIn[i][k] += float64(cycles)
-					nIn[i][k]++
+					et.sumIn[i][k] += float64(cycles)
+					et.nIn[i][k]++
 				} else {
-					sumOut[i][k] += float64(cycles)
-					nOut[i][k]++
+					et.sumOut[i][k] += float64(cycles)
+					et.nOut[i][k]++
 				}
 			}
 		}
+		et.samples++
 	}
+}
+
+// Result grades the samples gathered so far.
+func (et *EvictTimeRun) Result() Result {
 	correct := 0
 	for i := 0; i < 16; i++ {
 		bestK, bestD := 0, -1e18
 		for k := 0; k < 16; k++ {
-			if nIn[i][k] == 0 || nOut[i][k] == 0 {
+			if et.nIn[i][k] == 0 || et.nOut[i][k] == 0 {
 				continue
 			}
-			d := sumIn[i][k]/nIn[i][k] - sumOut[i][k]/nOut[i][k]
+			d := et.sumIn[i][k]/et.nIn[i][k] - et.sumOut[i][k]/et.nOut[i][k]
 			if d > bestD {
 				bestK, bestD = k, d
 			}
 		}
-		if bestK == int(v.key[i]>>4) {
+		if bestK == int(et.v.key[i]>>4) {
 			correct++
 		}
 	}
-	return Result{Attack: "evict+time", Samples: samples,
+	return Result{Attack: "evict+time", Samples: et.samples,
 		NibblesCorrect: correct, Success: correct >= 10}
 }
 

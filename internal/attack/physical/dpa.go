@@ -66,6 +66,16 @@ func (v *MaskedAESVictim) EncryptTraced(pt []byte, rec *power.Recorder) [16]byte
 // CollectTraces gathers n traces of random plaintexts on the given probe.
 func CollectTraces(v AESVictim, probe *power.Probe, n int, rng *rand.Rand) *power.TraceSet {
 	ts := &power.TraceSet{}
+	ExtendTraces(ts, v, probe, n, rng)
+	return ts
+}
+
+// ExtendTraces adds n more traces to an existing set — the sequential
+// sampling hook: extending a set in increments consumes the RNG and the
+// probe's noise stream exactly like one larger CollectTraces call, so the
+// cumulative statistic at any checkpoint matches a fixed-budget
+// collection of the same size.
+func ExtendTraces(ts *power.TraceSet, v AESVictim, probe *power.Probe, n int, rng *rand.Rand) {
 	for i := 0; i < n; i++ {
 		pt := make([]byte, 16)
 		rng.Read(pt)
@@ -73,7 +83,6 @@ func CollectTraces(v AESVictim, probe *power.Probe, n int, rng *rand.Rand) *powe
 		v.EncryptTraced(pt, rec)
 		ts.Add(rec.Samples, pt)
 	}
-	return ts
 }
 
 // CPAByte recovers one key byte by Pearson correlation against the

@@ -25,13 +25,19 @@ type TimingSample struct {
 // CollectTimingSamples runs the square-and-multiply victim on random
 // messages and records total times — the attacker's measurement phase.
 func CollectTimingSamples(exp, mod *big.Int, n int, rng *rand.Rand) []TimingSample {
-	out := make([]TimingSample, n)
-	for i := range out {
+	return ExtendTimingSamples(nil, exp, mod, n, rng)
+}
+
+// ExtendTimingSamples appends n more measurements to an existing sample
+// set — the sequential sampling hook: incremental extension draws the
+// same message sequence as one larger CollectTimingSamples call.
+func ExtendTimingSamples(samples []TimingSample, exp, mod *big.Int, n int, rng *rand.Rand) []TimingSample {
+	for i := 0; i < n; i++ {
 		msg := new(big.Int).Rand(rng, mod)
 		_, tm := softcrypto.ModExpSquareMultiply(msg, exp, mod)
-		out[i] = TimingSample{Msg: msg, Time: tm.Total}
+		samples = append(samples, TimingSample{Msg: msg, Time: tm.Total})
 	}
-	return out
+	return samples
 }
 
 // CollectLadderSamples is the same measurement against the Montgomery

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// The race detector slows the 1280-cell golden replay by an order of
+// magnitude without adding coverage the smaller concurrent sweep tests
+// don't already have; the golden grid is about verdict preservation, not
+// synchronization.
+func init() { raceDetectorEnabled = true }

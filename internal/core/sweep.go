@@ -8,6 +8,7 @@ import (
 	"github.com/intrust-sim/intrust/internal/defense"
 	"github.com/intrust-sim/intrust/internal/engine"
 	"github.com/intrust-sim/intrust/internal/scenario"
+	"github.com/intrust-sim/intrust/internal/stats"
 )
 
 // AllArchitectures lists the sweepable architecture keys in the paper's
@@ -42,6 +43,27 @@ func AllDefenseNames() []string { return defense.Default.Names() }
 // ["stock"], which reproduces the paper's §4.1 wiring. Unknown names are
 // an error.
 func SweepExperiments(archs, attacks, defenses []string, samples int) ([]engine.Experiment, error) {
+	return SweepExperimentsWith(archs, attacks, defenses, SweepOptions{Samples: samples})
+}
+
+// SweepOptions configures how the enumerated grid cells measure.
+type SweepOptions struct {
+	// Samples is the per-cell sample budget (raised to each scenario's
+	// floor; <= 0 defaults to 256). Under adaptive sampling it is the
+	// reference budget the sequential test aims to undercut.
+	Samples int
+	// Adaptive, when non-nil, runs every cell through the sequential
+	// verdict engine (internal/stats) under this policy: cells measure
+	// in cumulative checkpoint passes that stop as soon as the verdict
+	// separates to the policy's confidence, hard cells escalate up to
+	// the policy's sample cap, and every applicable cell's Outcome
+	// carries a stats.Decision. Nil keeps the fixed-budget behavior.
+	Adaptive *stats.Policy
+}
+
+// SweepExperimentsWith is SweepExperiments with explicit options (the
+// adaptive sequential-sampling engine lives behind Adaptive).
+func SweepExperimentsWith(archs, attacks, defenses []string, opt SweepOptions) ([]engine.Experiment, error) {
 	archs, err := expandAxis(archs, AllArchitectures, "architecture")
 	if err != nil {
 		return nil, err
@@ -54,14 +76,14 @@ func SweepExperiments(archs, attacks, defenses []string, samples int) ([]engine.
 	if err != nil {
 		return nil, err
 	}
-	if samples <= 0 {
-		samples = 256
+	if opt.Samples <= 0 {
+		opt.Samples = 256
 	}
 	var exps []engine.Experiment
 	for _, sc := range scens {
 		for _, arch := range archs {
 			for _, sel := range sels {
-				exps = append(exps, sweepExperiment(sc, arch, sel, samples))
+				exps = append(exps, sweepExperiment(sc, arch, sel, opt))
 			}
 		}
 	}
@@ -275,10 +297,11 @@ func resolvedKey(ds []defense.Defense) string {
 
 // sweepExperiment builds the engine job for one (scenario, architecture,
 // defense selection) cell of the grid.
-func sweepExperiment(sc scenario.Scenario, arch string, sel defenseSel, samples int) engine.Experiment {
+func sweepExperiment(sc scenario.Scenario, arch string, sel defenseSel, opt SweepOptions) engine.Experiment {
 	// Raise the budget to the scenario's declared floor so the
-	// Experiment's (and the JSON report's) Samples field states what the
-	// job actually runs.
+	// Experiment's (and the JSON report's) Samples field states the
+	// cell's reference cost.
+	samples := opt.Samples
 	if floor := scenario.MinSamplesOf(sc); samples < floor {
 		samples = floor
 	}
@@ -319,14 +342,69 @@ func sweepExperiment(sc scenario.Scenario, arch string, sel defenseSel, samples 
 			return naCell(fmt.Sprintf("defense %s not applicable on %s: %s", d.Name(), arch, reason))
 		}
 	}
+	if opt.Adaptive == nil {
+		exp.Run = func(ctx *engine.Ctx) (engine.Outcome, error) {
+			env, err := scenario.NewEnvWithDefenses(arch, ctx.Samples, ctx.Seed, ctx.RNG, defs)
+			if err != nil {
+				return engine.Outcome{}, err
+			}
+			return sc.Mount(env)
+		}
+		return exp
+	}
+	pol := *opt.Adaptive
 	exp.Run = func(ctx *engine.Ctx) (engine.Outcome, error) {
 		env, err := scenario.NewEnvWithDefenses(arch, ctx.Samples, ctx.Seed, ctx.RNG, defs)
 		if err != nil {
 			return engine.Outcome{}, err
 		}
-		return sc.Mount(env)
+		return adaptiveCell(sc, env, pol, ctx.Samples)
 	}
 	return exp
+}
+
+// adaptiveCell measures one applicable grid cell under the sequential
+// verdict engine. Sequential-sampling scenarios run cumulative
+// checkpoint passes (stats.Plan); one-shot scenarios settle on a single
+// mount; everything else falls back to independent full-budget passes.
+// Pass 0 always runs under the cell's own job seed, so a pass that needs
+// the full reference budget measures exactly what the fixed engine
+// would — the adaptive layer changes cost, never verdicts. Further
+// passes (demanded by high confidence targets or disagreeing passes —
+// the escalation path) derive their seeds from the job seed and the pass
+// index, keeping stopping points independent of engine parallelism.
+func adaptiveCell(sc scenario.Scenario, base *scenario.Env, pol stats.Policy, reference int) (engine.Outcome, error) {
+	if scenario.IsOneShot(sc) {
+		out, err := sc.Mount(base)
+		if err != nil {
+			return out, err
+		}
+		dec := stats.OneShot(pol, scenario.VerdictClass(out.Verdict) == scenario.ClassBroken)
+		out.Sampling = &dec
+		return out, nil
+	}
+	t := stats.NewTest(pol, reference)
+	seq := scenario.CanMountSeq(sc)
+	var out engine.Outcome
+	var err error
+	for t.NeedMore() {
+		env := base.Batch(t.Passes(), reference)
+		used := reference
+		if seq {
+			plan := stats.NewPlan(t.Policy(), reference)
+			out, err = scenario.MountSeq(sc, env, plan)
+			used = plan.Used()
+		} else {
+			out, err = sc.Mount(env)
+		}
+		if err != nil {
+			return out, err
+		}
+		t.Observe(scenario.VerdictClass(out.Verdict) == scenario.ClassBroken, used)
+	}
+	dec := t.Conclude()
+	out.Sampling = &dec
+	return out, nil
 }
 
 // sweepScenarioName recovers the bare scenario name from an experiment
@@ -350,11 +428,12 @@ func sweepDefenseLabel(expName string) string {
 
 // SweepTable renders sweep results as the familiar ASCII matrix, one row
 // per (scenario, architecture, defense) cell, with the normalized
-// broken/mitigated/n-a class in the last column.
+// broken/mitigated/n-a class, the sample cost (used/reference under
+// adaptive sampling) and the verdict confidence in the last columns.
 func SweepTable(results []engine.Result) *Table {
 	t := &Table{
 		Title:   "SWEEP — attack scenarios × architectures × defenses (one experiment per cell)",
-		Columns: []string{"scenario", "architecture", "defense", "measurement", "verdict", "class"},
+		Columns: []string{"scenario", "architecture", "defense", "measurement", "verdict", "class", "samples", "conf"},
 	}
 	// The grid repeats most detail lines (one per architecture) and every
 	// n/a reason (one per excluded architecture); note each distinct line
@@ -363,12 +442,13 @@ func SweepTable(results []engine.Result) *Table {
 	for i := range results {
 		r := &results[i]
 		if r.Failed() {
-			t.Rows = append(t.Rows, []string{sweepScenarioName(r.Name), r.Arch, r.Experiment.Defense, "-", "ERROR: " + r.Err, "error"})
+			t.Rows = append(t.Rows, []string{sweepScenarioName(r.Name), r.Arch, r.Experiment.Defense, "-", "ERROR: " + r.Err, "error", "-", "-"})
 			continue
 		}
+		samples, conf := sampleCells(r)
 		for _, row := range r.Rows {
 			if len(row) == 4 {
-				t.Rows = append(t.Rows, []string{row[0], row[1], r.Experiment.Defense, row[2], row[3], scenario.VerdictClass(row[3])})
+				t.Rows = append(t.Rows, []string{row[0], row[1], r.Experiment.Defense, row[2], row[3], scenario.VerdictClass(row[3]), samples, conf})
 			} else {
 				t.Rows = append(t.Rows, row)
 			}
@@ -378,7 +458,57 @@ func SweepTable(results []engine.Result) *Table {
 			t.Notes = append(t.Notes, d)
 		}
 	}
+	if note := samplingNote(results); note != "" {
+		t.Notes = append(t.Notes, note)
+	}
 	return t
+}
+
+// sampleCells renders one result's sample-cost and confidence columns:
+// "used/reference" plus the sequential test's posterior for adaptive
+// cells, the nominal budget and "-" for fixed ones, dashes for n/a.
+func sampleCells(r *engine.Result) (samples, conf string) {
+	if d := r.Sampling; d != nil {
+		if d.Reference == 0 {
+			// One-shot measurement: no sample dimension.
+			return "1-shot", fmt.Sprintf("%.3f", d.Confidence)
+		}
+		return fmt.Sprintf("%d/%d", d.SamplesUsed, d.Reference), fmt.Sprintf("%.3f", d.Confidence)
+	}
+	if r.Verdict == "n/a" {
+		return "-", "-"
+	}
+	return fmt.Sprintf("%d", r.Experiment.Samples), "-"
+}
+
+// samplingNote summarizes an adaptive run's realized saving across the
+// given results ("" when no cell carries a sampling decision).
+func samplingNote(results []engine.Result) string {
+	s := engine.Summarize(results, 0)
+	if s.EarlyStopped == 0 && s.Escalated == 0 {
+		sampled := false
+		for i := range results {
+			if results[i].Sampling != nil {
+				sampled = true
+				break
+			}
+		}
+		if !sampled {
+			return ""
+		}
+	}
+	if s.FixedSamples == 0 || s.TotalSamples == 0 {
+		return ""
+	}
+	// A mitigated-heavy selection at a high confidence target can cost
+	// MORE than fixed budgets (escalation passes); don't word that as a
+	// saving.
+	trend := fmt.Sprintf("%.1fx saving", float64(s.FixedSamples)/float64(s.TotalSamples))
+	if s.TotalSamples > s.FixedSamples {
+		trend = fmt.Sprintf("%.1fx the fixed cost", float64(s.TotalSamples)/float64(s.FixedSamples))
+	}
+	return fmt.Sprintf("adaptive sampling: %d samples vs %d fixed-budget (%s; %d cells early, %d escalated)",
+		s.TotalSamples, s.FixedSamples, trend, s.EarlyStopped, s.Escalated)
 }
 
 // SweepDiff compares every defended cell of a sweep run against the
@@ -388,7 +518,7 @@ func SweepTable(results []engine.Result) *Table {
 // "none" selection on the defense axis (the CLI's -diff adds it).
 func SweepDiff(results []engine.Result) (*Table, error) {
 	type cell struct {
-		verdict, class, display string
+		verdict, class, display, conf string
 	}
 	baseline := map[string]cell{} // scenario/arch -> none cell
 	type keyed struct {
@@ -403,7 +533,10 @@ func SweepDiff(results []engine.Result) (*Table, error) {
 		}
 		label := sweepDefenseLabel(r.Name)
 		k := sweepScenarioName(r.Name) + "/" + r.Arch
-		c := cell{verdict: r.Verdict, class: scenario.VerdictClass(r.Verdict), display: r.Experiment.Defense}
+		c := cell{verdict: r.Verdict, class: scenario.VerdictClass(r.Verdict), display: r.Experiment.Defense, conf: "-"}
+		if d := r.Sampling; d != nil {
+			c.conf = fmt.Sprintf("%.3f", d.Confidence)
+		}
 		if label == "none" {
 			baseline[k] = c
 			continue
@@ -415,7 +548,7 @@ func SweepDiff(results []engine.Result) (*Table, error) {
 	}
 	t := &Table{
 		Title:   "DIFF — cells each defense flips versus the undefended baseline",
-		Columns: []string{"scenario", "architecture", "defense", "none", "defended", "flip"},
+		Columns: []string{"scenario", "architecture", "defense", "none", "defended", "flip", "conf"},
 	}
 	flips, unchanged := 0, 0
 	for _, d := range defended {
@@ -435,10 +568,13 @@ func SweepDiff(results []engine.Result) (*Table, error) {
 		flips++
 		parts := strings.SplitN(d.key, "/", 2)
 		t.Rows = append(t.Rows, []string{parts[0], parts[1], d.c.display,
-			base.class, d.c.class, base.class + " -> " + d.c.class})
+			base.class, d.c.class, base.class + " -> " + d.c.class, d.c.conf})
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("%d flipped cells, %d defended cells unchanged vs none (n/a cells excluded)", flips, unchanged))
+	if note := samplingNote(results); note != "" {
+		t.Notes = append(t.Notes, note)
+	}
 	if flips == 0 {
 		t.Notes = append(t.Notes, "no cell changed class: the selected defenses do not affect the selected attacks")
 	}

@@ -26,6 +26,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/intrust-sim/intrust/internal/stats"
 )
 
 // Experiment is one schedulable unit of measurement.
@@ -86,6 +88,11 @@ type Outcome struct {
 	// Payload carries structured results for callers that assemble
 	// richer artifacts (Figure 1 rows). It is JSON-encoded as-is.
 	Payload any `json:"payload,omitempty"`
+	// Sampling carries the adaptive sequential-sampling verdict for
+	// experiments run under a stats.Policy: the decided class, its
+	// confidence, and the sample cost actually paid. Nil for
+	// fixed-budget experiments and n/a cells.
+	Sampling *stats.Decision `json:"sampling,omitempty"`
 }
 
 // Result pairs an Experiment with its Outcome, timing, and error state.
@@ -217,6 +224,19 @@ type Summary struct {
 	// realized speedup.
 	TotalNS int64 `json:"total_ns"`
 	WallNS  int64 `json:"wall_ns,omitempty"`
+	// TotalSamples is the summed sample cost of the run: the adaptive
+	// SamplesUsed where a job carries a sampling decision, the nominal
+	// budget otherwise (n/a and failed cells count zero). FixedSamples
+	// is what the same cells cost under fixed budgets (the summed
+	// per-cell Reference, or again the nominal budget for jobs without
+	// a sampling decision) — the pair states the adaptive engine's
+	// realized saving.
+	TotalSamples int64 `json:"total_samples,omitempty"`
+	FixedSamples int64 `json:"fixed_samples,omitempty"`
+	// EarlyStopped and Escalated count the cells whose sequential test
+	// settled under / pushed past the reference budget.
+	EarlyStopped int `json:"early_stopped,omitempty"`
+	Escalated    int `json:"escalated,omitempty"`
 }
 
 // Summarize aggregates results; wall is the observed end-to-end duration
@@ -231,6 +251,20 @@ func Summarize(results []Result, wall time.Duration) Summary {
 		}
 		if v := results[i].Verdict; v != "" {
 			s.Verdicts[v]++
+		}
+		if d := results[i].Sampling; d != nil {
+			s.TotalSamples += int64(d.SamplesUsed)
+			s.FixedSamples += int64(d.Reference)
+			if d.StoppedEarly {
+				s.EarlyStopped++
+			}
+			if d.Escalated {
+				s.Escalated++
+			}
+		} else if results[i].Verdict != "n/a" {
+			n := int64(results[i].Experiment.Samples)
+			s.TotalSamples += n
+			s.FixedSamples += n
 		}
 	}
 	if len(s.Verdicts) == 0 {

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/intrust-sim/intrust/internal/stats"
 )
 
 // noisyExperiments builds experiments whose outcome depends only on the
@@ -228,5 +230,34 @@ func TestDefaultParallelism(t *testing.T) {
 	}
 	if e := New(-3); e.Parallel < 1 {
 		t.Errorf("New(-3) parallelism = %d, want >= 1", e.Parallel)
+	}
+}
+
+// TestSummarizeSampling pins the adaptive-cost aggregation: results
+// carrying a sampling decision contribute their realized and reference
+// costs plus the early/escalated counters, plain results contribute the
+// nominal budget on both sides, and n/a or failed results contribute
+// nothing.
+func TestSummarizeSampling(t *testing.T) {
+	results := []Result{
+		{Experiment: Experiment{Samples: 64},
+			Outcome: Outcome{Verdict: "LEAKS",
+				Sampling: &stats.Decision{Class: stats.ClassBroken, SamplesUsed: 32, Reference: 64, Passes: 1, StoppedEarly: true, Decided: true}}},
+		{Experiment: Experiment{Samples: 600},
+			Outcome: Outcome{Verdict: "blocked",
+				Sampling: &stats.Decision{Class: stats.ClassMitigated, SamplesUsed: 1200, Reference: 600, Passes: 2, Escalated: true, Decided: true}}},
+		{Experiment: Experiment{Samples: 50}, Outcome: Outcome{Verdict: "LEAKS"}},  // fixed-budget cell
+		{Experiment: Experiment{Samples: 99}, Outcome: Outcome{Verdict: "n/a"}},   // no substrate: no cost
+		{Experiment: Experiment{Samples: 77}, Err: "boom"},                        // failures carry no cost
+	}
+	s := Summarize(results, 0)
+	if s.TotalSamples != 32+1200+50 {
+		t.Errorf("TotalSamples = %d, want %d", s.TotalSamples, 32+1200+50)
+	}
+	if s.FixedSamples != 64+600+50 {
+		t.Errorf("FixedSamples = %d, want %d", s.FixedSamples, 64+600+50)
+	}
+	if s.EarlyStopped != 1 || s.Escalated != 1 {
+		t.Errorf("early/escalated = %d/%d, want 1/1", s.EarlyStopped, s.Escalated)
 	}
 }

@@ -2,8 +2,10 @@ package scenario
 
 import (
 	"fmt"
+	"math/rand"
 
 	"github.com/intrust-sim/intrust/internal/attack/cachesca"
+	"github.com/intrust-sim/intrust/internal/stats"
 )
 
 // The five Section 4.1 cache side-channel variants. All of them need
@@ -89,6 +91,62 @@ func secretBytesFor(samples int) int {
 	return 1
 }
 
+// cacheRun is the resumable-attack contract the cachesca package's
+// *Run types share: extend the cumulative sample set, grade what has
+// been gathered.
+type cacheRun interface {
+	Extend(n int, rng *rand.Rand)
+	Result() cachesca.Result
+}
+
+// seqCacheResult drives one resumable key-recovery attack through the
+// plan's checkpoint ladder: extend to each checkpoint, grade the
+// cumulative scoreboard, stop on a full recovery. Sub-reference
+// checkpoints grade on Success alone — a partial leak at a starved
+// budget is not evidence the cell is broken — while a pass that drains
+// the plan ends on exactly the fixed-budget statistic.
+func seqCacheResult(run cacheRun, plan *stats.Plan, env *Env) cachesca.Result {
+	done := 0
+	var res cachesca.Result
+	for {
+		n, ok := plan.Next()
+		if !ok {
+			break
+		}
+		run.Extend(n-done, env.RNG)
+		done = n
+		res = run.Result()
+		plan.Grade(res.Success)
+	}
+	return res
+}
+
+// seqBitChannel drives a bit-recovery channel (TLB, BTB) through the
+// plan: one sample recovers one secret bit, so each checkpoint extends
+// the recovered prefix of a reference-sized secret and grades the
+// cumulative hit ratio against the same 14/16 bar as the fixed grading.
+// The full secret is drawn up front so a full pass consumes the RNG
+// exactly like the fixed-budget mount.
+func seqBitChannel(env *Env, plan *stats.Plan, recover func(chunk []byte) (correct int)) (correct, bits int) {
+	secret := make([]byte, secretBytesFor(plan.Reference()))
+	env.RNG.Read(secret)
+	done := 0
+	for {
+		n, ok := plan.Next()
+		if !ok {
+			break
+		}
+		k := len(secret) * n / plan.Reference()
+		if k > done {
+			correct += recover(secret[done:k])
+			done = k
+		}
+		bits = done * 8
+		plan.Grade(bits > 0 && correct*16 >= bits*14)
+	}
+	return correct, bits
+}
+
 // bitOutcome renders a bit-recovery outcome (TLB, BTB channels), graded
 // against the same 14/16 recovery ratio as the key-nibble attacks.
 func bitOutcome(name string, env *Env, correct, total int, detail string) Outcome {
@@ -140,6 +198,15 @@ func cacheScenarios() []Scenario {
 				res := cachesca.FlushReload(v, env.Samples, AttackerDomain, env.RNG)
 				return cacheOutcome("flush+reload", env, res, "flush+reload vs "+defenseName(env)), nil
 			},
+			RunSeq: func(env *Env, plan *stats.Plan) (Outcome, error) {
+				p := env.NewPlatform()
+				v, err := env.AESVictim(p)
+				if err != nil {
+					return Outcome{}, err
+				}
+				res := seqCacheResult(cachesca.NewFlushReloadRun(v, AttackerDomain), plan, env)
+				return cacheOutcome("flush+reload", env, res, "flush+reload vs "+defenseName(env)), nil
+			},
 		},
 		&Spec{
 			ID: "prime+probe", In: FamilyCacheSCA, Section: "4.1",
@@ -152,6 +219,15 @@ func cacheScenarios() []Scenario {
 					return Outcome{}, err
 				}
 				res := cachesca.PrimeProbe(v, p.LLC, env.Samples, AttackerDomain, env.RNG)
+				return cacheOutcome("prime+probe", env, res, "prime+probe vs "+defenseName(env)), nil
+			},
+			RunSeq: func(env *Env, plan *stats.Plan) (Outcome, error) {
+				p := env.NewPlatform()
+				v, err := env.AESVictim(p)
+				if err != nil {
+					return Outcome{}, err
+				}
+				res := seqCacheResult(cachesca.NewPrimeProbeRun(v, p.LLC, AttackerDomain), plan, env)
 				return cacheOutcome("prime+probe", env, res, "prime+probe vs "+defenseName(env)), nil
 			},
 		},
@@ -173,6 +249,15 @@ func cacheScenarios() []Scenario {
 				res := cachesca.EvictTime(v, env.Samples, env.RNG)
 				return cacheOutcome("evict+time", env, res, "evict+time vs "+defenseName(env)), nil
 			},
+			RunSeq: func(env *Env, plan *stats.Plan) (Outcome, error) {
+				p := env.NewPlatform()
+				v, err := env.AESVictim(p)
+				if err != nil {
+					return Outcome{}, err
+				}
+				res := seqCacheResult(cachesca.NewEvictTimeRun(v), plan, env)
+				return cacheOutcome("evict+time", env, res, "evict+time vs "+defenseName(env)), nil
+			},
 		},
 		&Spec{
 			ID: "tlb-channel", In: FamilyCacheSCA, Section: "4.1",
@@ -186,6 +271,15 @@ func cacheScenarios() []Scenario {
 				env.RNG.Read(secret)
 				_, correct := cachesca.TLBAttack(p.Core(0).TLB, secret, VictimASID, AttackerASID)
 				return bitOutcome("tlb-channel", env, correct, len(secret)*8,
+					"TLB prime+probe vs "+defenseName(env)), nil
+			},
+			RunSeq: func(env *Env, plan *stats.Plan) (Outcome, error) {
+				p := env.NewPlatform()
+				correct, bits := seqBitChannel(env, plan, func(chunk []byte) int {
+					_, c := cachesca.TLBAttack(p.Core(0).TLB, chunk, VictimASID, AttackerASID)
+					return c
+				})
+				return bitOutcome("tlb-channel", env, correct, bits,
 					"TLB prime+probe vs "+defenseName(env)), nil
 			},
 		},
@@ -207,6 +301,19 @@ func cacheScenarios() []Scenario {
 				}
 				_, correct := cachesca.BranchShadow(pred, secret, 40)
 				return bitOutcome("branch-shadow", env, correct, len(secret)*8,
+					"branch shadowing vs "+defenseName(env)), nil
+			},
+			RunSeq: func(env *Env, plan *stats.Plan) (Outcome, error) {
+				p := env.NewPlatform()
+				var pred cachesca.BranchPredictor = p.Core(0).Pred
+				if env.DefenseConfig().PredictorFlush {
+					pred = &switchFlushPredictor{p: p.Core(0).Pred}
+				}
+				correct, bits := seqBitChannel(env, plan, func(chunk []byte) int {
+					_, c := cachesca.BranchShadow(pred, chunk, 40)
+					return c
+				})
+				return bitOutcome("branch-shadow", env, correct, bits,
 					"branch shadowing vs "+defenseName(env)), nil
 			},
 		},

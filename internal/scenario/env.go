@@ -9,6 +9,7 @@ import (
 	"github.com/intrust-sim/intrust/internal/attack/physical"
 	"github.com/intrust-sim/intrust/internal/cpu"
 	"github.com/intrust-sim/intrust/internal/defense"
+	"github.com/intrust-sim/intrust/internal/engine"
 	"github.com/intrust-sim/intrust/internal/platform"
 	"github.com/intrust-sim/intrust/internal/power"
 	"github.com/intrust-sim/intrust/internal/tee/sgx"
@@ -142,6 +143,29 @@ func NewEnvWithDefenses(arch string, samples int, seed int64, rng *rand.Rand, de
 	}
 	return &Env{Arch: arch, Class: class, Samples: samples, Seed: seed, RNG: rng,
 		Defenses: defenses, cfg: cfg}, nil
+}
+
+// Batch derives the environment for sequential-sampling batch i of this
+// cell: the same architecture, class and resolved defense wiring, a
+// budget-sized sample allowance, and a batch-private RNG. Batch 0 runs
+// under the job seed itself — so an adaptive schedule whose first batch
+// carries the full budget reproduces the fixed-budget measurement
+// bit-for-bit — and every later batch derives its seed from the job seed
+// and the batch index alone. Stopping points therefore depend only on
+// the job seed, never on engine parallelism or scheduling order.
+func (e *Env) Batch(i, budget int) *Env {
+	if budget <= 0 {
+		budget = e.Samples
+	}
+	seed := e.Seed
+	if i > 0 {
+		seed = engine.DeriveSeed(e.Seed, fmt.Sprintf("batch/%d", i))
+	}
+	b := *e
+	b.Samples = budget
+	b.Seed = seed
+	b.RNG = rand.New(rand.NewSource(seed))
+	return &b
 }
 
 // DefenseConfig exposes the cell's resolved defense wiring — the knob set

@@ -44,10 +44,28 @@ func ApplicableCell(s Scenario) string {
 	return strings.Join(applicable, ", ")
 }
 
+// SamplingCell renders a scenario's sampling profile for the catalog:
+// how the adaptive verdict engine measures it (cumulative sequential
+// passes, with the declared floor as the reference budget, or a single
+// budget-independent mount) and what a fixed budget costs.
+func SamplingCell(s Scenario) string {
+	if IsOneShot(s) {
+		return "one-shot"
+	}
+	kind := "full-budget passes"
+	if CanMountSeq(s) {
+		kind = "sequential"
+	}
+	if floor := MinSamplesOf(s); floor > 0 {
+		return fmt.Sprintf("%s, floor %d", kind, floor)
+	}
+	return kind
+}
+
 // CatalogMarkdown renders the registry as the EXPERIMENTS.md index:
 // the CLI-mode table for the paper's fixed artifacts, then one table per
-// scenario family with name, paper section, summary and the applicable
-// architectures. Regenerate with `go generate ./...`.
+// scenario family with name, paper section, summary, sampling profile
+// and the applicable architectures. Regenerate with `go generate ./...`.
 func CatalogMarkdown(r *Registry) string {
 	var b strings.Builder
 	b.WriteString(`# EXPERIMENTS — index of everything intrust can measure
@@ -81,8 +99,8 @@ Two kinds of experiments exist:
 		r.Len(), len(Architectures), r.Len()*len(Architectures))
 	for _, family := range r.Families() {
 		b.WriteString("\n### " + familyHeading(family) + "\n\n")
-		b.WriteString("| Scenario | Paper § | What it mounts | Applicable architectures |\n")
-		b.WriteString("|---|---|---|---|\n")
+		b.WriteString("| Scenario | Paper § | What it mounts | Sampling | Applicable architectures |\n")
+		b.WriteString("|---|---|---|---|---|\n")
 		var notes []string
 		for _, s := range r.ByFamily(family) {
 			section, summary := DescriptionOf(s)
@@ -99,7 +117,7 @@ Two kinds of experiments exist:
 					}
 				}
 			}
-			fmt.Fprintf(&b, "| `%s` | %s | %s | %s |\n", s.Name(), section, summary, ApplicableCell(s))
+			fmt.Fprintf(&b, "| `%s` | %s | %s | %s | %s |\n", s.Name(), section, summary, SamplingCell(s), ApplicableCell(s))
 		}
 		for _, n := range notes {
 			b.WriteString("\n> " + n + "\n")
@@ -126,6 +144,29 @@ mitigations (` + "`none`" + `), the architecture's paper wiring (` + "`stock`" +
 the default), or any mitigation set from the defense catalog — see the
 generated [docs/DEFENSES.md](docs/DEFENSES.md) handbook and
 ` + "`intrust defenses`" + `.
+
+## Adaptive sampling
+
+Sweeps run under the adaptive sequential-sampling verdict engine
+(` + "`internal/stats`" + `) by default. The Sampling column above states how
+each scenario measures:
+
+- **sequential** — the scenario extends ONE cumulative sample set
+  through a checkpoint ladder (reference/8, reference/4, ... reference)
+  and regrades at each rung, stopping the moment the secret is fully
+  recovered. A pass that drains the ladder has measured exactly the
+  fixed-budget statistic, so verdicts never change — only their cost.
+  Declared floors are the reference budgets.
+- **one-shot** — the measurement is budget-independent (fault counts,
+  transient extraction); one mount settles the cell.
+
+` + "`-confidence`" + ` sets the per-cell verdict confidence target (default
+0.9; hard cells escalate with further independent passes up to
+` + "`-maxsamples`" + `), and ` + "`-confidence 0`" + ` restores fixed budgets.
+Every adaptive cell reports ` + "`samples used/reference`" + ` and its posterior
+confidence in the sweep table and the JSON report; the golden-grid test
+(` + "`internal/core/testdata/golden_grid.tsv`" + `) pins that the adaptive
+engine reproduces the fixed engine's class on all 1280 cells.
 `)
 	return b.String()
 }

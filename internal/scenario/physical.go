@@ -6,7 +6,9 @@ import (
 	"math/rand"
 
 	"github.com/intrust-sim/intrust/internal/attack/physical"
+	"github.com/intrust-sim/intrust/internal/power"
 	"github.com/intrust-sim/intrust/internal/softcrypto"
+	"github.com/intrust-sim/intrust/internal/stats"
 )
 
 // The Section 5 classical physical suite. Physical attacks assume an
@@ -38,6 +40,13 @@ func LeakIf(b bool) string {
 	return "blocked"
 }
 
+// kocherTarget returns the shared 61-bit modexp victim parameters every
+// Kocher-timing measurement (TAB5 and the sweep) attacks.
+func kocherTarget() (mod, exp *big.Int) {
+	mod = new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 61), big.NewInt(1))
+	return mod, big.NewInt(0xB6D5)
+}
+
 // KocherRecovers mounts the Kocher timing attack with the given sample
 // collector (square-and-multiply vs Montgomery ladder) on the shared
 // 61-bit modexp victim and reports whether the exponent was recovered
@@ -45,10 +54,34 @@ func LeakIf(b bool) string {
 // exactly this, from this one definition, so their victims cannot drift
 // apart.
 func KocherRecovers(collect func(exp, mod *big.Int, n int, rng *rand.Rand) []physical.TimingSample, n int, rng *rand.Rand) bool {
-	mod := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 61), big.NewInt(1))
-	exp := big.NewInt(0xB6D5)
+	mod, exp := kocherTarget()
 	rec := physical.KocherTiming(collect(exp, mod, n, rng), mod, exp.BitLen())
 	return rec.Cmp(exp) == 0
+}
+
+// seqTraces drives a cumulative power-trace attack (DPA, CPA) through
+// the plan's checkpoint ladder: extend one trace set, regrade the
+// recovered key bytes, stop on a full (>= 14/16) recovery. A pass that
+// drains the plan has collected exactly the fixed-budget trace set.
+func seqTraces(env *Env, plan *stats.Plan, sigma float64, analyze func(*power.TraceSet) [16]byte) (got, traces int, err error) {
+	v, err := env.PowerAESVictim()
+	if err != nil {
+		return 0, 0, err
+	}
+	probe := env.PowerProbe(sigma, 1)
+	ts := &power.TraceSet{}
+	done := 0
+	for {
+		n, ok := plan.Next()
+		if !ok {
+			break
+		}
+		physical.ExtendTraces(ts, v, probe, n-done, env.RNG)
+		done = n
+		got = physical.CorrectBytes(analyze(ts), VictimKey())
+		plan.Grade(got >= 14)
+	}
+	return got, done, nil
 }
 
 func physicalScenarios() []Scenario {
@@ -63,6 +96,26 @@ func physicalScenarios() []Scenario {
 				ok := KocherRecovers(physical.CollectTimingSamples, env.Samples, env.RNG)
 				return Outcome{
 					Rows:    Cell("kocher-timing", env.Arch, fmt.Sprintf("%d timings", env.Samples), LeakIf(ok)),
+					Verdict: LeakIf(ok),
+					Detail:  "Kocher timing attack on square-and-multiply RSA",
+				}, nil
+			},
+			RunSeq: func(env *Env, plan *stats.Plan) (Outcome, error) {
+				mod, exp := kocherTarget()
+				var samples []physical.TimingSample
+				ok, done := false, 0
+				for {
+					n, more := plan.Next()
+					if !more {
+						break
+					}
+					samples = physical.ExtendTimingSamples(samples, exp, mod, n-done, env.RNG)
+					done = n
+					ok = physical.KocherTiming(samples, mod, exp.BitLen()).Cmp(exp) == 0
+					plan.Grade(ok)
+				}
+				return Outcome{
+					Rows:    Cell("kocher-timing", env.Arch, fmt.Sprintf("%d timings", done), LeakIf(ok)),
 					Verdict: LeakIf(ok),
 					Detail:  "Kocher timing attack on square-and-multiply RSA",
 				}, nil
@@ -91,6 +144,18 @@ func physicalScenarios() []Scenario {
 					Detail:  "difference-of-means DPA vs " + env.DefenseLabel(),
 				}, nil
 			},
+			RunSeq: func(env *Env, plan *stats.Plan) (Outcome, error) {
+				got, traces, err := seqTraces(env, plan, 0.5, physical.DPAKey)
+				if err != nil {
+					return Outcome{}, err
+				}
+				return Outcome{
+					Rows:    Cell("dpa", env.Arch, fmt.Sprintf("%d/16 key bytes @ %d traces", got, traces), LeakIf(got >= 14)),
+					Metrics: map[string]float64{"key_bytes": float64(got)},
+					Verdict: LeakIf(got >= 14),
+					Detail:  "difference-of-means DPA vs " + env.DefenseLabel(),
+				}, nil
+			},
 		},
 		&Spec{
 			ID: "cpa", In: FamilyPhysical, Section: "5",
@@ -111,9 +176,21 @@ func physicalScenarios() []Scenario {
 					Detail:  "close-proximity CPA vs " + env.DefenseLabel(),
 				}, nil
 			},
+			RunSeq: func(env *Env, plan *stats.Plan) (Outcome, error) {
+				got, traces, err := seqTraces(env, plan, 0.8, physical.CPAKey)
+				if err != nil {
+					return Outcome{}, err
+				}
+				return Outcome{
+					Rows:    Cell("cpa", env.Arch, fmt.Sprintf("%d/16 key bytes @ %d traces", got, traces), LeakIf(got >= 14)),
+					Metrics: map[string]float64{"key_bytes": float64(got)},
+					Verdict: LeakIf(got >= 14),
+					Detail:  "close-proximity CPA vs " + env.DefenseLabel(),
+				}, nil
+			},
 		},
 		&Spec{
-			ID: "dfa-piret-quisquater", In: FamilyPhysical, Section: "5",
+			ID: "dfa-piret-quisquater", In: FamilyPhysical, Section: "5", Single: true,
 			Summary: "Piret-Quisquater differential fault attack: full AES key from a handful of faulty ciphertexts",
 			Run: func(env *Env) (Outcome, error) {
 				oracle, err := physical.NewFaultOracle(VictimKey())
@@ -134,7 +211,7 @@ func physicalScenarios() []Scenario {
 			},
 		},
 		&Spec{
-			ID: "bellcore", In: FamilyPhysical, Section: "5",
+			ID: "bellcore", In: FamilyPhysical, Section: "5", Single: true,
 			Summary: "Bellcore RSA-CRT fault attack: one faulty half-exponentiation factors the modulus",
 			Run: func(env *Env) (Outcome, error) {
 				// Deterministic keygen from the job RNG — crypto/rsa's
@@ -178,7 +255,7 @@ func physicalScenarios() []Scenario {
 			},
 		},
 		&Spec{
-			ID: "clkscrew", In: FamilyPhysical, Section: "5",
+			ID: "clkscrew", In: FamilyPhysical, Section: "5", Single: true,
 			Summary: "CLKSCREW: overclock via the kernel-reachable DVFS regulator to fault the TrustZone secure world",
 			Applies: mobileOnlyDVFS,
 			Run: func(env *Env) (Outcome, error) {

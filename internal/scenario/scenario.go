@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"github.com/intrust-sim/intrust/internal/engine"
+	"github.com/intrust-sim/intrust/internal/stats"
 )
 
 // Family names, in the paper's section order. Registry ordering and the
@@ -68,9 +69,37 @@ type Scenario interface {
 
 // Sampler is an optional Scenario extension declaring a minimum sample
 // budget; the sweep raises a cell's budget to this floor so the reported
-// Samples field states what the job actually ran.
+// Samples field states what the job actually ran. Under adaptive
+// sampling the floor doubles as the cell's reference budget: the batch
+// budget at which one measurement is considered fully informative.
 type Sampler interface {
 	MinSamples() int
+}
+
+// OneShotSampler is an optional Scenario extension marking scenarios
+// whose measurement does not consume the sample budget at all — fault
+// attacks needing a handful of faulty ciphertexts, transient extraction
+// running to completion regardless of Samples. The adaptive engine
+// settles such cells with a single mount instead of corroborating
+// passes that would multiply the real cost without adding evidence.
+type OneShotSampler interface {
+	// OneShot reports that one mount settles a cell regardless of the
+	// sample budget.
+	OneShot() bool
+}
+
+// SequentialSampler is an optional Scenario extension for cumulative
+// sequential sampling: MountSeq runs ONE measurement pass that extends a
+// single cumulative sample set to each checkpoint the plan issues and
+// grades the statistic there. Sub-reference checkpoints must grade
+// conservatively — only a full secret recovery counts, never a partial
+// signal — because a starved budget is expected to look mitigated even
+// on broken cells. A pass that drains the plan without a recovery has
+// measured exactly what the fixed-budget engine would have measured
+// (same seed, same sample count, same statistic); one that stops early
+// has already recovered the secret, which more samples cannot undo.
+type SequentialSampler interface {
+	MountSeq(env *Env, plan *stats.Plan) (Outcome, error)
 }
 
 // Describer is an optional Scenario extension providing catalog metadata
@@ -93,13 +122,23 @@ type Spec struct {
 	Section string
 	// Summary is a one-line description for the catalog listing.
 	Summary string
-	// Floor is the minimum meaningful sample budget (0 = any).
+	// Floor is the minimum meaningful sample budget (0 = any). Adaptive
+	// sampling treats it as the reference budget: mitigated verdicts
+	// from batches below it are discounted as possible sample
+	// starvation.
 	Floor int
+	// Single marks the scenario's measurement as budget-independent
+	// (see OneShotSampler).
+	Single bool
 	// Applies decides per-architecture applicability; nil means the
 	// scenario applies to every known architecture.
 	Applies func(arch string) (bool, string)
 	// Run mounts the attack.
 	Run func(env *Env) (Outcome, error)
+	// RunSeq, when non-nil, mounts one cumulative sequential-sampling
+	// pass (see SequentialSampler). Scenarios without it fall back to
+	// full-budget Run passes under the adaptive engine.
+	RunSeq func(env *Env, plan *stats.Plan) (Outcome, error)
 }
 
 // Name implements Scenario.
@@ -130,6 +169,18 @@ func (s *Spec) Mount(env *Env) (Outcome, error) {
 
 // MinSamples implements Sampler.
 func (s *Spec) MinSamples() int { return s.Floor }
+
+// OneShot implements OneShotSampler.
+func (s *Spec) OneShot() bool { return s.Single }
+
+// MountSeq implements SequentialSampler; check CanMountSeq before
+// calling.
+func (s *Spec) MountSeq(env *Env, plan *stats.Plan) (Outcome, error) {
+	if s.RunSeq == nil {
+		return Outcome{}, fmt.Errorf("scenario %s has no sequential mount", s.ID)
+	}
+	return s.RunSeq(env, plan)
+}
 
 // Describe implements Describer.
 func (s *Spec) Describe() (string, string) { return s.Section, s.Summary }
@@ -178,6 +229,36 @@ func MinSamplesOf(s Scenario) int {
 		return ms.MinSamples()
 	}
 	return 0
+}
+
+// IsOneShot reports whether the scenario declares its measurement
+// budget-independent (see OneShotSampler).
+func IsOneShot(s Scenario) bool {
+	if os, ok := s.(OneShotSampler); ok {
+		return os.OneShot()
+	}
+	return false
+}
+
+// CanMountSeq reports whether the scenario supports cumulative
+// sequential sampling. A *Spec qualifies only when its RunSeq is wired —
+// the Spec type always carries the method, but a nil RunSeq would error.
+func CanMountSeq(s Scenario) bool {
+	if sp, ok := s.(*Spec); ok {
+		return sp.RunSeq != nil
+	}
+	_, ok := s.(SequentialSampler)
+	return ok
+}
+
+// MountSeq runs one cumulative sequential-sampling pass on a scenario
+// that supports it (check CanMountSeq first).
+func MountSeq(s Scenario, env *Env, plan *stats.Plan) (Outcome, error) {
+	seq, ok := s.(SequentialSampler)
+	if !ok {
+		return Outcome{}, fmt.Errorf("scenario %s does not support sequential sampling", s.Name())
+	}
+	return seq.MountSeq(env, plan)
 }
 
 // DescriptionOf returns the scenario's paper section and summary, or

@@ -45,6 +45,7 @@ import (
 	"github.com/intrust-sim/intrust/internal/platform"
 	"github.com/intrust-sim/intrust/internal/power"
 	"github.com/intrust-sim/intrust/internal/scenario"
+	"github.com/intrust-sim/intrust/internal/stats"
 	"github.com/intrust-sim/intrust/internal/tee"
 	"github.com/intrust-sim/intrust/internal/tee/sanctuary"
 	"github.com/intrust-sim/intrust/internal/tee/sanctum"
@@ -401,6 +402,39 @@ var (
 	Summarize = engine.Summarize
 )
 
+// Adaptive sequential-sampling verdict engine: grid cells measure in
+// cumulative checkpoint passes that stop as soon as their
+// broken/mitigated verdict separates to a confidence target, instead of
+// burning one fixed sample budget; hard cells escalate up to a cap.
+// Every adaptive cell's outcome carries a SamplingDecision (class,
+// confidence, realized sample cost).
+type (
+	// SamplingPolicy configures the sequential test (confidence target,
+	// error model, checkpoint floor, per-cell sample cap); the zero
+	// value selects the defaults.
+	SamplingPolicy = stats.Policy
+	// SamplingDecision is a cell's settled verdict with its confidence
+	// and cost.
+	SamplingDecision = stats.Decision
+	// SamplingPlan is the checkpoint ladder one cumulative measurement
+	// pass grades against (the scenario-side sequential-sampling hook).
+	SamplingPlan = stats.Plan
+	// SamplingTest folds pass observations into the sequential
+	// probability ratio test.
+	SamplingTest = stats.Test
+	// SweepOptions configures SweepExperimentsWith (sample budget plus
+	// the optional adaptive policy).
+	SweepOptions = core.SweepOptions
+)
+
+// Sampling entry points.
+var (
+	// NewSamplingPlan builds the checkpoint ladder for one pass.
+	NewSamplingPlan = stats.NewPlan
+	// NewSamplingTest builds the per-cell sequential test.
+	NewSamplingTest = stats.NewTest
+)
+
 // Sweep: the scenario × architecture × defense cross-product as engine
 // experiments (the `intrust sweep` CLI mode).
 var (
@@ -408,6 +442,10 @@ var (
 	// defense axis accepts registered names, "+"-combinations, and the
 	// tokens none, stock and all (empty defaults to stock).
 	SweepExperiments = core.SweepExperiments
+	// SweepExperimentsWith is SweepExperiments with explicit options —
+	// the adaptive sequential-sampling engine lives behind
+	// SweepOptions.Adaptive.
+	SweepExperimentsWith = core.SweepExperimentsWith
 	// SweepTable renders sweep results with per-cell defense labels and
 	// broken/mitigated/n-a classes.
 	SweepTable = core.SweepTable
