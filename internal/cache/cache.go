@@ -96,6 +96,12 @@ type Cache struct {
 	// address-to-set mapping; different domains get unrelated mappings).
 	randKeys map[int]uint32
 
+	// flushCand is FlushLine's reused candidate-index scratch: the line
+	// can live under the identity index plus one index per randomized
+	// mapping, so the buffer stays tiny and, once grown, the Flush+Reload
+	// inner loop never allocates again.
+	flushCand []int
+
 	// OnEvict, when non-nil, observes every eviction of a valid line with
 	// the line's base address. Platforms use it to implement an INCLUSIVE
 	// shared LLC: evicting an LLC line back-invalidates the private
@@ -323,12 +329,25 @@ func (c *Cache) FlushLine(addr uint32) bool {
 	tag := c.lineAddr(addr)
 	found := false
 	// The line may live under the identity index or any randomized index;
-	// scan candidate sets for correctness.
-	seen := map[int]bool{int(tag % uint32(c.cfg.Sets)): true}
+	// scan candidate sets for correctness. Candidates dedupe through the
+	// reused scratch buffer (order does not matter: clearing a set is
+	// idempotent and sets do not interact).
+	cand := append(c.flushCand[:0], int(tag%uint32(c.cfg.Sets)))
 	for _, key := range c.randKeys {
-		seen[int(scramble(tag, key)%uint32(c.cfg.Sets))] = true
+		idx := int(scramble(tag, key) % uint32(c.cfg.Sets))
+		dup := false
+		for _, s := range cand {
+			if s == idx {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			cand = append(cand, idx)
+		}
 	}
-	for idx := range seen {
+	c.flushCand = cand
+	for _, idx := range cand {
 		set := c.sets[idx]
 		for w := range set {
 			if set[w].valid && set[w].tag == tag {
