@@ -6,10 +6,19 @@
 // style), cacheability exclusion (Sanctuary) and flush-on-switch — so the
 // cache side-channel experiments of Section 4.1 can measure each defense
 // against the same attacks.
+//
+// The cache is the innermost state machine of every Section 4 experiment,
+// so its layout is tuned like the flattened simulators the surveyed
+// defenses were themselves evaluated on: one contiguous line array indexed
+// by precomputed shift/mask geometry, per-set PLRU state in a bitmask, and
+// dense per-domain partition/key tables — no maps, no per-access pointer
+// chasing, no allocation anywhere on the access or flush paths (see
+// docs/PERFORMANCE.md).
 package cache
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 )
 
@@ -81,20 +90,41 @@ type line struct {
 // changed per domain (randomized mapping) without aliasing errors. Each
 // line remembers the security domain that filled it; domain-selective
 // flushes model enclave context-switch hygiene.
+//
+// All state lives in flat arrays: lines is one contiguous backing array
+// (set i occupies lines[i*Ways : (i+1)*Ways]), PLRU state is one bit per
+// way in a per-set word, and the per-domain way partitions and
+// index-scrambling keys are dense slices indexed by domain. Set indexing
+// is a shift and a mask — Sets and LineSize are validated powers of two.
 type Cache struct {
-	cfg   Config
-	sets  [][]line
-	plru  [][]bool // tree-PLRU state per set
-	tick  uint64
-	rng   *rand.Rand
-	Stats Stats
+	cfg Config
 
-	// partitions maps a domain to a bitmask of ways it may use (DAWG-style
-	// way partitioning: both lookups and fills are confined to the mask).
-	partitions map[int]uint64
-	// randKeys maps a domain to an index-scrambling key (randomized
+	ways      int
+	lineShift uint   // log2(LineSize): addr >> lineShift is the line address
+	setMask   uint32 // Sets-1: lineAddr & setMask is the identity set index
+
+	lines []line   // Sets*Ways contiguous lines
+	plru  []uint64 // tree-PLRU recently-used bit per way, one word per set
+
+	tick    uint64
+	rng     *rand.Rand
+	rngSeed int64
+	Stats   Stats
+
+	// parts is the dense domain→way-mask table (DAWG-style way
+	// partitioning: both lookups and fills are confined to the mask).
+	// A zero entry means the domain is unpartitioned — SetPartition
+	// defines mask 0 as "clear", so 0 is never a live partition.
+	parts []uint64
+	// randKeys is the dense domain→index-scrambling key table (randomized
 	// address-to-set mapping; different domains get unrelated mappings).
-	randKeys map[int]uint32
+	// A zero entry means the identity mapping — SetRandomizedIndex
+	// defines key 0 as "clear".
+	randKeys []uint32
+	// randDomains lists the domains with a live scrambling key, so
+	// FlushLine can enumerate candidate indices without walking the whole
+	// dense table.
+	randDomains []int
 
 	// flushCand is FlushLine's reused candidate-index scratch: the line
 	// can live under the identity index plus one index per randomized
@@ -122,57 +152,114 @@ func New(cfg Config) *Cache {
 		panic(fmt.Sprintf("cache %q: bad way count %d", cfg.Name, cfg.Ways))
 	}
 	c := &Cache{
-		cfg:        cfg,
-		sets:       make([][]line, cfg.Sets),
-		plru:       make([][]bool, cfg.Sets),
-		rng:        rand.New(rand.NewSource(int64(cfg.Sets)*31 + int64(cfg.Ways))),
-		partitions: map[int]uint64{},
-		randKeys:   map[int]uint32{},
+		cfg:       cfg,
+		ways:      cfg.Ways,
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineSize))),
+		setMask:   uint32(cfg.Sets - 1),
+		lines:     make([]line, cfg.Sets*cfg.Ways),
+		plru:      make([]uint64, cfg.Sets),
+		rngSeed:   int64(cfg.Sets)*31 + int64(cfg.Ways),
 	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
-		c.plru[i] = make([]bool, cfg.Ways)
-	}
+	c.rng = rand.New(rand.NewSource(c.rngSeed))
 	return c
 }
 
 // Config returns the cache geometry.
 func (c *Cache) Config() Config { return c.cfg }
 
+// Reset returns the cache to its as-built state: all lines invalid, PLRU
+// and statistics cleared, partitions and randomized mappings removed, and
+// the replacement RNG re-seeded — so a reset cache replays exactly the
+// same decision sequence as a freshly constructed one. The platform pool
+// uses it to recycle hierarchies across measurement passes instead of
+// re-allocating them (OnEvict wiring is preserved).
+func (c *Cache) Reset() {
+	clear(c.lines)
+	clear(c.plru)
+	c.tick = 0
+	c.Stats = Stats{}
+	c.rng = rand.New(rand.NewSource(c.rngSeed))
+	clear(c.parts)
+	clear(c.randKeys)
+	c.randDomains = c.randDomains[:0]
+}
+
+// checkDomain rejects negative security domains, which the dense
+// per-domain tables cannot represent (and which nothing in the simulator
+// uses); like bad geometry, that is a configuration bug.
+func (c *Cache) checkDomain(domain int) {
+	if domain < 0 {
+		panic(fmt.Sprintf("cache %q: negative security domain %d", c.cfg.Name, domain))
+	}
+}
+
 // SetPartition restricts domain to the ways in mask (0 clears the
 // partition). With a partition installed, the domain cannot hit on or
 // evict lines outside its ways, and vice versa for other domains only if
 // they are partitioned too.
 func (c *Cache) SetPartition(domain int, mask uint64) {
+	c.checkDomain(domain)
 	if mask == 0 {
-		delete(c.partitions, domain)
+		if domain < len(c.parts) {
+			c.parts[domain] = 0
+		}
 		return
 	}
-	c.partitions[domain] = mask
+	for domain >= len(c.parts) {
+		c.parts = append(c.parts, 0)
+	}
+	c.parts[domain] = mask
 }
 
 // SetRandomizedIndex gives domain a private scrambled address-to-set
 // mapping derived from key (0 clears it).
 func (c *Cache) SetRandomizedIndex(domain int, key uint32) {
+	c.checkDomain(domain)
 	if key == 0 {
-		delete(c.randKeys, domain)
+		if domain < len(c.randKeys) && c.randKeys[domain] != 0 {
+			c.randKeys[domain] = 0
+			for i, d := range c.randDomains {
+				if d == domain {
+					c.randDomains = append(c.randDomains[:i], c.randDomains[i+1:]...)
+					break
+				}
+			}
+		}
 		return
+	}
+	for domain >= len(c.randKeys) {
+		c.randKeys = append(c.randKeys, 0)
+	}
+	if c.randKeys[domain] == 0 {
+		c.randDomains = append(c.randDomains, domain)
 	}
 	c.randKeys[domain] = key
 }
 
 // lineAddr returns the line-granular address (the tag).
-func (c *Cache) lineAddr(addr uint32) uint32 { return addr / uint32(c.cfg.LineSize) }
+func (c *Cache) lineAddr(addr uint32) uint32 { return addr >> c.lineShift }
+
+// randKey returns domain's scrambling key, or 0 for the identity mapping.
+func (c *Cache) randKey(domain int) uint32 {
+	if uint(domain) < uint(len(c.randKeys)) {
+		return c.randKeys[domain]
+	}
+	return 0
+}
+
+// setIndex maps a line address to domain's set index.
+func (c *Cache) setIndex(la uint32, domain int) int {
+	if key := c.randKey(domain); key != 0 {
+		return int(scramble(la, key) & c.setMask)
+	}
+	return int(la & c.setMask)
+}
 
 // SetIndexOf returns the set index addr maps to for the given domain.
 // Attackers use this to build eviction sets; with randomized mapping the
 // result differs per domain, which is exactly the defense.
 func (c *Cache) SetIndexOf(addr uint32, domain int) int {
-	la := c.lineAddr(addr)
-	if key, ok := c.randKeys[domain]; ok {
-		return int(scramble(la, key) % uint32(c.cfg.Sets))
-	}
-	return int(la % uint32(c.cfg.Sets))
+	return c.setIndex(c.lineAddr(addr), domain)
 }
 
 // scramble is a cheap invertible mixing function (xorshift-multiply).
@@ -186,17 +273,25 @@ func scramble(v, key uint32) uint32 {
 }
 
 func (c *Cache) wayMask(domain int) uint64 {
-	if m, ok := c.partitions[domain]; ok {
-		return m
+	if uint(domain) < uint(len(c.parts)) {
+		if m := c.parts[domain]; m != 0 {
+			return m
+		}
 	}
 	return ^uint64(0)
+}
+
+// set returns the contiguous line slice of set idx.
+func (c *Cache) set(idx int) []line {
+	base := idx * c.ways
+	return c.lines[base : base+c.ways]
 }
 
 // Lookup reports whether addr is cached, from domain's view, without
 // changing any state (no fill, no LRU update).
 func (c *Cache) Lookup(addr uint32, domain int) bool {
-	set := c.sets[c.SetIndexOf(addr, domain)]
 	tag := c.lineAddr(addr)
+	set := c.set(c.setIndex(tag, domain))
 	mask := c.wayMask(domain)
 	for w := range set {
 		if mask&(1<<uint(w)) == 0 {
@@ -214,9 +309,9 @@ func (c *Cache) Lookup(addr uint32, domain int) bool {
 // policy within the domain's way mask).
 func (c *Cache) Access(addr uint32, write bool, domain int) bool {
 	c.tick++
-	idx := c.SetIndexOf(addr, domain)
-	set := c.sets[idx]
 	tag := c.lineAddr(addr)
+	idx := c.setIndex(tag, domain)
+	set := c.set(idx)
 	mask := c.wayMask(domain)
 	for w := range set {
 		if mask&(1<<uint(w)) == 0 {
@@ -238,7 +333,7 @@ func (c *Cache) Access(addr uint32, write bool, domain int) bool {
 }
 
 func (c *Cache) fill(idx int, tag uint32, write bool, domain int, mask uint64) {
-	set := c.sets[idx]
+	set := c.set(idx)
 	victim := -1
 	// Prefer an invalid way inside the mask.
 	for w := range set {
@@ -254,7 +349,7 @@ func (c *Cache) fill(idx int, tag uint32, write bool, domain int, mask uint64) {
 		victim = c.chooseVictim(idx, mask)
 		c.Stats.Evictions++
 		if c.OnEvict != nil && set[victim].valid {
-			c.OnEvict(set[victim].tag * uint32(c.cfg.LineSize))
+			c.OnEvict(set[victim].tag << c.lineShift)
 		}
 	}
 	set[victim] = line{valid: true, tag: tag, domain: domain, lastUse: c.tick, dirty: write}
@@ -262,27 +357,26 @@ func (c *Cache) fill(idx int, tag uint32, write bool, domain int, mask uint64) {
 }
 
 func (c *Cache) chooseVictim(idx int, mask uint64) int {
-	set := c.sets[idx]
+	set := c.set(idx)
 	switch c.cfg.Policy {
 	case PolicyRandom:
 		for {
-			w := c.rng.Intn(c.cfg.Ways)
+			w := c.rng.Intn(c.ways)
 			if mask&(1<<uint(w)) != 0 {
 				return w
 			}
 		}
 	case PolicyTreePLRU:
 		// Walk the not-recently-used bits; fall back to masked scan.
-		for w := range set {
-			if mask&(1<<uint(w)) != 0 && !c.plru[idx][w] {
+		used := c.plru[idx]
+		for w := 0; w < c.ways; w++ {
+			if mask&(1<<uint(w)) != 0 && used&(1<<uint(w)) == 0 {
 				return w
 			}
 		}
 		// All marked recently used: reset and take the first allowed way.
-		for w := range c.plru[idx] {
-			c.plru[idx][w] = false
-		}
-		for w := range set {
+		c.plru[idx] = 0
+		for w := 0; w < c.ways; w++ {
 			if mask&(1<<uint(w)) != 0 {
 				return w
 			}
@@ -305,21 +399,20 @@ func (c *Cache) chooseVictim(idx int, mask uint64) int {
 	return victim
 }
 
+// fullWays returns the bitmask with one bit per configured way.
+func (c *Cache) fullWays() uint64 {
+	if c.ways == 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(c.ways) - 1
+}
+
 func (c *Cache) touchPLRU(idx, way int) {
-	c.plru[idx][way] = true
-	all := true
-	for _, b := range c.plru[idx] {
-		if !b {
-			all = false
-			break
-		}
+	used := c.plru[idx] | 1<<uint(way)
+	if used == c.fullWays() {
+		used = 1 << uint(way)
 	}
-	if all {
-		for w := range c.plru[idx] {
-			c.plru[idx][w] = false
-		}
-		c.plru[idx][way] = true
-	}
+	c.plru[idx] = used
 }
 
 // FlushLine removes addr's line from every way of every possible index
@@ -332,9 +425,9 @@ func (c *Cache) FlushLine(addr uint32) bool {
 	// scan candidate sets for correctness. Candidates dedupe through the
 	// reused scratch buffer (order does not matter: clearing a set is
 	// idempotent and sets do not interact).
-	cand := append(c.flushCand[:0], int(tag%uint32(c.cfg.Sets)))
-	for _, key := range c.randKeys {
-		idx := int(scramble(tag, key) % uint32(c.cfg.Sets))
+	cand := append(c.flushCand[:0], int(tag&c.setMask))
+	for _, d := range c.randDomains {
+		idx := int(scramble(tag, c.randKeys[d]) & c.setMask)
 		dup := false
 		for _, s := range cand {
 			if s == idx {
@@ -348,7 +441,7 @@ func (c *Cache) FlushLine(addr uint32) bool {
 	}
 	c.flushCand = cand
 	for _, idx := range cand {
-		set := c.sets[idx]
+		set := c.set(idx)
 		for w := range set {
 			if set[w].valid && set[w].tag == tag {
 				set[w] = line{}
@@ -362,22 +455,16 @@ func (c *Cache) FlushLine(addr uint32) bool {
 
 // FlushAll invalidates the entire cache.
 func (c *Cache) FlushAll() {
-	for i := range c.sets {
-		for w := range c.sets[i] {
-			c.sets[i][w] = line{}
-		}
-	}
+	clear(c.lines)
 	c.Stats.Flushes++
 }
 
 // FlushDomain invalidates every line filled by the given domain (enclave
 // exit hygiene in Sanctum and Sanctuary).
 func (c *Cache) FlushDomain(domain int) {
-	for i := range c.sets {
-		for w := range c.sets[i] {
-			if c.sets[i][w].valid && c.sets[i][w].domain == domain {
-				c.sets[i][w] = line{}
-			}
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].domain == domain {
+			c.lines[i] = line{}
 		}
 	}
 	c.Stats.Flushes++
@@ -387,11 +474,9 @@ func (c *Cache) FlushDomain(domain int) {
 // and in the partition-isolation experiments.
 func (c *Cache) OccupancyOf(domain int) int {
 	n := 0
-	for i := range c.sets {
-		for w := range c.sets[i] {
-			if c.sets[i][w].valid && c.sets[i][w].domain == domain {
-				n++
-			}
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].domain == domain {
+			n++
 		}
 	}
 	return n
@@ -401,7 +486,7 @@ func (c *Cache) OccupancyOf(domain int) int {
 // Prime+Probe primitive for counting victim-induced evictions.
 func (c *Cache) WaysIn(idx int) int {
 	n := 0
-	for _, l := range c.sets[idx] {
+	for _, l := range c.set(idx) {
 		if l.valid {
 			n++
 		}

@@ -1,5 +1,7 @@
 package cache
 
+import "fmt"
+
 // TLBEntry caches one virtual-to-physical translation.
 type TLBEntry struct {
 	valid   bool
@@ -14,18 +16,24 @@ type TLBEntry struct {
 // attacker and victim are the channel exploited by TLB side-channel
 // attacks (Gras et al., USENIX Security'18), reproduced in
 // internal/attack/cachesca.
+//
+// Like Cache, the TLB keeps its state flat: one contiguous entry array
+// indexed by mask arithmetic and a dense per-ASID partition table, so a
+// translation costs no map lookups and no pointer chasing.
 type TLB struct {
-	sets  int
-	ways  int
-	data  [][]TLBEntry
-	tick  uint64
-	Stats Stats
+	sets    int
+	ways    int
+	setMask uint32
+	entries []TLBEntry // sets*ways contiguous entries
+	tick    uint64
+	Stats   Stats
 
-	// partitions maps an ASID to a bitmask of ways it may use — TLB way
-	// partitioning, the TLBleed countermeasure analogous to DAWG on the
-	// data caches (paper §4.1): an address space confined to its own
-	// ways can neither evict nor observe another space's translations.
-	partitions map[int]uint64
+	// parts is the dense ASID→way-mask table — TLB way partitioning, the
+	// TLBleed countermeasure analogous to DAWG on the data caches (paper
+	// §4.1): an address space confined to its own ways can neither evict
+	// nor observe another space's translations. A zero entry means the
+	// ASID is unpartitioned (SetPartition defines mask 0 as "clear").
+	parts []uint64
 }
 
 // NewTLB creates a TLB with the given geometry (sets must be a power of
@@ -34,11 +42,17 @@ func NewTLB(sets, ways int) *TLB {
 	if sets <= 0 || sets&(sets-1) != 0 || ways <= 0 {
 		panic("cache: bad TLB geometry")
 	}
-	t := &TLB{sets: sets, ways: ways, data: make([][]TLBEntry, sets)}
-	for i := range t.data {
-		t.data[i] = make([]TLBEntry, ways)
-	}
-	return t
+	return &TLB{sets: sets, ways: ways, setMask: uint32(sets - 1), entries: make([]TLBEntry, sets*ways)}
+}
+
+// Reset returns the TLB to its as-built state: all entries invalid,
+// statistics cleared, partitions removed. The platform pool uses it to
+// recycle cores across measurement passes.
+func (t *TLB) Reset() {
+	clear(t.entries)
+	t.tick = 0
+	t.Stats = Stats{}
+	clear(t.parts)
 }
 
 // SetPartition restricts an ASID to the ways in mask (0 clears the
@@ -46,20 +60,27 @@ func NewTLB(sets, ways int) *TLB {
 // of a partitioned ASID are confined to its ways, so a prime+probe
 // attacker in another ASID never loses an entry to the victim.
 func (t *TLB) SetPartition(asid int, mask uint64) {
-	if t.partitions == nil {
-		t.partitions = map[int]uint64{}
+	if asid < 0 {
+		panic(fmt.Sprintf("cache: negative TLB ASID %d", asid))
 	}
 	if mask == 0 {
-		delete(t.partitions, asid)
+		if asid < len(t.parts) {
+			t.parts[asid] = 0
+		}
 		return
 	}
-	t.partitions[asid] = mask
+	for asid >= len(t.parts) {
+		t.parts = append(t.parts, 0)
+	}
+	t.parts[asid] = mask
 }
 
 // wayMask returns the ways asid may use (all ways when unpartitioned).
 func (t *TLB) wayMask(asid int) uint64 {
-	if m, ok := t.partitions[asid]; ok {
-		return m
+	if uint(asid) < uint(len(t.parts)) {
+		if m := t.parts[asid]; m != 0 {
+			return m
+		}
 	}
 	return ^uint64(0)
 }
@@ -71,12 +92,18 @@ func (t *TLB) Sets() int { return t.sets }
 func (t *TLB) Ways() int { return t.ways }
 
 // SetIndexOf returns the set a virtual page number maps to.
-func (t *TLB) SetIndexOf(vpn uint32) int { return int(vpn % uint32(t.sets)) }
+func (t *TLB) SetIndexOf(vpn uint32) int { return int(vpn & t.setMask) }
+
+// set returns the contiguous entry slice of set idx.
+func (t *TLB) set(idx int) []TLBEntry {
+	base := idx * t.ways
+	return t.entries[base : base+t.ways]
+}
 
 // Lookup returns the cached PTE for (vpn, asid), if present.
 func (t *TLB) Lookup(vpn uint32, asid int) (uint32, bool) {
 	t.tick++
-	set := t.data[t.SetIndexOf(vpn)]
+	set := t.set(t.SetIndexOf(vpn))
 	mask := t.wayMask(asid)
 	for w := range set {
 		if mask&(1<<uint(w)) == 0 {
@@ -96,7 +123,7 @@ func (t *TLB) Lookup(vpn uint32, asid int) (uint32, bool) {
 // Insert caches a translation, evicting LRU within the set.
 func (t *TLB) Insert(vpn uint32, asid int, pte uint32) {
 	t.tick++
-	set := t.data[t.SetIndexOf(vpn)]
+	set := t.set(t.SetIndexOf(vpn))
 	mask := t.wayMask(asid)
 	victim, oldest := -1, ^uint64(0)
 	for w := range set {
@@ -123,21 +150,15 @@ func (t *TLB) Insert(vpn uint32, asid int, pte uint32) {
 
 // FlushAll empties the TLB (full context switch without ASIDs).
 func (t *TLB) FlushAll() {
-	for i := range t.data {
-		for w := range t.data[i] {
-			t.data[i][w] = TLBEntry{}
-		}
-	}
+	clear(t.entries)
 	t.Stats.Flushes++
 }
 
 // FlushASID removes entries belonging to one address space.
 func (t *TLB) FlushASID(asid int) {
-	for i := range t.data {
-		for w := range t.data[i] {
-			if t.data[i][w].valid && t.data[i][w].asid == asid {
-				t.data[i][w] = TLBEntry{}
-			}
+	for i := range t.entries {
+		if t.entries[i].valid && t.entries[i].asid == asid {
+			t.entries[i] = TLBEntry{}
 		}
 	}
 	t.Stats.Flushes++
@@ -145,7 +166,7 @@ func (t *TLB) FlushASID(asid int) {
 
 // FlushPage removes one page's translation in one address space.
 func (t *TLB) FlushPage(vpn uint32, asid int) {
-	set := t.data[t.SetIndexOf(vpn)]
+	set := t.set(t.SetIndexOf(vpn))
 	for w := range set {
 		if set[w].valid && set[w].vpn == vpn && set[w].asid == asid {
 			set[w] = TLBEntry{}
@@ -156,7 +177,7 @@ func (t *TLB) FlushPage(vpn uint32, asid int) {
 // ValidIn counts valid entries in set idx (the TLB Prime+Probe primitive).
 func (t *TLB) ValidIn(idx int) int {
 	n := 0
-	for _, e := range t.data[idx] {
+	for _, e := range t.set(idx) {
 		if e.valid {
 			n++
 		}
