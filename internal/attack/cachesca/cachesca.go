@@ -179,6 +179,7 @@ type FlushReloadRun struct {
 	threshold int
 	sb        scoreboard
 	samples   int
+	pt        [16]byte // reused plaintext buffer; one draw per sample
 }
 
 // NewFlushReloadRun prepares the attack: the attacker shares the table
@@ -191,7 +192,7 @@ func NewFlushReloadRun(v *Victim, attackerDomain int) *FlushReloadRun {
 // Extend gathers n more samples.
 func (fr *FlushReloadRun) Extend(n int, rng *rand.Rand) {
 	v := fr.v
-	pt := make([]byte, 16)
+	pt := fr.pt[:]
 	for ; n > 0; n-- {
 		rng.Read(pt)
 		// Flush every line of all four T-tables.
@@ -238,6 +239,14 @@ type PrimeProbeRun struct {
 	attacker int
 	sb       scoreboard
 	samples  int
+	pt       [16]byte // reused plaintext buffer; one draw per sample
+
+	// ev holds the precomputed per-table-line eviction sets (4 tables x
+	// 16 lines, Ways addresses each) in one contiguous backing array.
+	// The addresses depend only on the LLC geometry and the victim's
+	// table base, so they are derived once per run instead of twice per
+	// line per sample in the innermost loop.
+	ev [4 * linesPerTab][]uint32
 }
 
 // NewPrimeProbeRun prepares the attack: the attacker fills the LLC sets
@@ -245,32 +254,38 @@ type PrimeProbeRun struct {
 // encrypt, then re-touches its data counting evictions. No shared memory
 // needed.
 func NewPrimeProbeRun(v *Victim, llc *cache.Cache, attackerDomain int) *PrimeProbeRun {
-	return &PrimeProbeRun{v: v, llc: llc, attacker: attackerDomain}
+	pp := &PrimeProbeRun{v: v, llc: llc, attacker: attackerDomain}
+	cfg := llc.Config()
+	stride := uint32(cfg.Sets * cfg.LineSize)
+	const attackerBase = uint32(0x2000000)
+	backing := make([]uint32, 4*linesPerTab*cfg.Ways)
+	for tab := 0; tab < 4; tab++ {
+		for line := 0; line < linesPerTab; line++ {
+			// Attacker addresses that map (in the attacker's view) to the
+			// same LLC set as the victim's table line.
+			target := v.base + uint32(tab)*tableStride + uint32(line*lineSize)
+			setOff := target % stride
+			set := backing[:cfg.Ways:cfg.Ways]
+			backing = backing[cfg.Ways:]
+			for w := 0; w < cfg.Ways; w++ {
+				set[w] = attackerBase + uint32(w)*stride + setOff
+			}
+			pp.ev[tab*linesPerTab+line] = set
+		}
+	}
+	return pp
 }
 
 // Extend gathers n more samples.
 func (pp *PrimeProbeRun) Extend(n int, rng *rand.Rand) {
 	v, llc := pp.v, pp.llc
-	cfg := llc.Config()
-	stride := uint32(cfg.Sets * cfg.LineSize)
-	attackerBase := uint32(0x2000000)
-	pt := make([]byte, 16)
-	evictionSet := func(target uint32) []uint32 {
-		// Attacker addresses that map (in the attacker's view) to the
-		// same LLC set as target.
-		setOff := target % stride
-		out := make([]uint32, cfg.Ways)
-		for w := 0; w < cfg.Ways; w++ {
-			out[w] = attackerBase + uint32(w)*stride + setOff
-		}
-		return out
-	}
+	pt := pp.pt[:]
 	for ; n > 0; n-- {
 		rng.Read(pt)
 		// Prime all table-line sets.
 		for tab := 0; tab < 4; tab++ {
 			for line := 0; line < linesPerTab; line++ {
-				for _, a := range evictionSet(v.base + uint32(tab)*tableStride + uint32(line*lineSize)) {
+				for _, a := range pp.ev[tab*linesPerTab+line] {
 					llc.Access(a, false, pp.attacker)
 				}
 			}
@@ -281,7 +296,7 @@ func (pp *PrimeProbeRun) Extend(n int, rng *rand.Rand) {
 		for tab := 0; tab < 4; tab++ {
 			for line := 0; line < linesPerTab; line++ {
 				misses := 0
-				for _, a := range evictionSet(v.base + uint32(tab)*tableStride + uint32(line*lineSize)) {
+				for _, a := range pp.ev[tab*linesPerTab+line] {
 					if !llc.Access(a, false, pp.attacker) {
 						misses++
 					}
@@ -333,6 +348,7 @@ type EvictTimeRun struct {
 	// predicts the evicted line was touched vs when it does not.
 	sumIn, sumOut, nIn, nOut [16][16]float64
 	samples                  int
+	pt                       [16]byte // reused plaintext buffer; one draw per sample
 }
 
 // NewEvictTimeRun prepares the attack.
@@ -343,7 +359,7 @@ func NewEvictTimeRun(v *Victim) *EvictTimeRun {
 // Extend gathers n more timed encryptions.
 func (et *EvictTimeRun) Extend(n int, rng *rand.Rand) {
 	v := et.v
-	pt := make([]byte, 16)
+	pt := et.pt[:]
 	for ; n > 0; n-- {
 		rng.Read(pt)
 		line := et.samples % linesPerTab

@@ -138,12 +138,49 @@ type TraceSet struct {
 	Traces []Trace
 	// Inputs holds per-trace public data (e.g. plaintexts).
 	Inputs [][]byte
+
+	// cols caches the hypothesis-independent per-point sums the CPA
+	// distinguisher reuses across all 256 key guesses; Add invalidates it.
+	cols *colSums
+}
+
+// colSums are the per-point trace sums Σy and Σy² over the common prefix,
+// plus the trace count they were computed at. They depend only on the
+// trace matrix — never on a key hypothesis — so one computation serves
+// every Pearson query until the set grows.
+type colSums struct {
+	n   int
+	pts int
+	sy  []float64
+	syy []float64
 }
 
 // Add appends a trace with its associated public input.
 func (ts *TraceSet) Add(tr Trace, input []byte) {
 	ts.Traces = append(ts.Traces, tr)
 	ts.Inputs = append(ts.Inputs, input)
+	ts.cols = nil
+}
+
+// colSums returns the cached per-point sums, computing them on first use.
+// Accumulation runs in trace order per point, exactly like the direct
+// Pearson loop, so cached and uncached statistics are bit-identical.
+func (ts *TraceSet) colSums() *colSums {
+	if ts.cols != nil && ts.cols.n == len(ts.Traces) {
+		return ts.cols
+	}
+	cs := &colSums{n: len(ts.Traces), pts: ts.Points()}
+	cs.sy = make([]float64, cs.pts)
+	cs.syy = make([]float64, cs.pts)
+	for _, tr := range ts.Traces {
+		for j := 0; j < cs.pts; j++ {
+			y := tr[j]
+			cs.sy[j] += y
+			cs.syy[j] += y * y
+		}
+	}
+	ts.cols = cs
+	return cs
 }
 
 // Len returns the number of traces.
@@ -190,10 +227,37 @@ func (ts *TraceSet) Pearson(h []float64, j int) float64 {
 
 // MaxAbsPearson returns the largest |correlation| across all points for the
 // hypothesis vector h — the CPA distinguisher statistic.
+//
+// It computes exactly what Pearson computes at every point, but factors
+// the per-point pass down to the one term that depends on both the
+// hypothesis and the point (Σxy): the hypothesis sums Σx/Σx² hoist out of
+// the point loop and the trace sums Σy/Σy² come from the per-set cache,
+// all accumulated in the same order as the direct loop — so the result is
+// bit-identical at roughly a third of the arithmetic.
 func (ts *TraceSet) MaxAbsPearson(h []float64) float64 {
+	n := float64(len(ts.Traces))
+	if n < 2 {
+		return 0
+	}
+	cols := ts.colSums()
+	var sx, sxx float64
+	for _, x := range h {
+		sx += x
+		sxx += x * x
+	}
+	hden := math.Sqrt(n*sxx - sx*sx)
 	best := 0.0
-	for j := 0; j < ts.Points(); j++ {
-		if r := math.Abs(ts.Pearson(h, j)); r > best {
+	for j := 0; j < cols.pts; j++ {
+		var sxy float64
+		for i, tr := range ts.Traces {
+			sxy += h[i] * tr[j]
+		}
+		num := n*sxy - sx*cols.sy[j]
+		den := hden * math.Sqrt(n*cols.syy[j]-cols.sy[j]*cols.sy[j])
+		if den == 0 {
+			continue
+		}
+		if r := math.Abs(num / den); r > best {
 			best = r
 		}
 	}
@@ -229,6 +293,94 @@ func (ts *TraceSet) DifferenceOfMeans(selector func(i int) bool) float64 {
 	}
 	best := 0.0
 	for j := 0; j < pts; j++ {
+		d := math.Abs(sum1[j]/n1 - sum0[j]/n0)
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// ClassSums are per-class pointwise trace sums: every trace is assigned
+// one of 256 classes (for DPA, the value of one plaintext byte) and its
+// samples accumulate into that class's sum vector. A difference-of-means
+// query for a key guess then combines at most 256 presummed vectors
+// instead of re-walking every trace — the guess loop of Kocher's DPA runs
+// 256 guesses over the same trace matrix, so the grouping pass pays for
+// itself hundreds of times over.
+type ClassSums struct {
+	pts   int
+	n     int
+	count [256]int
+	sums  [256][]float64 // nil for classes with no traces
+
+	// scratch0/scratch1 are the reused partition accumulators of
+	// DifferenceOfMeans, so the 256-guess loop does not allocate.
+	scratch0, scratch1 []float64
+}
+
+// ClassSums groups the set's traces by class(i) over the common prefix.
+// Per class, samples accumulate in trace order — the same order the
+// direct DifferenceOfMeans walks them.
+func (ts *TraceSet) ClassSums(class func(i int) uint8) *ClassSums {
+	cs := &ClassSums{pts: ts.Points(), n: ts.Len()}
+	for i, tr := range ts.Traces {
+		v := class(i)
+		s := cs.sums[v]
+		if s == nil {
+			s = make([]float64, cs.pts)
+			cs.sums[v] = s
+		}
+		cs.count[v]++
+		for j := 0; j < cs.pts; j++ {
+			s[j] += tr[j]
+		}
+	}
+	return cs
+}
+
+// Points returns the number of usable sample points of the grouped set.
+func (cs *ClassSums) Points() int { return cs.pts }
+
+// DifferenceOfMeans partitions the classes with selected and returns the
+// maximum absolute difference of mean traces between the two partitions —
+// the grouped form of TraceSet.DifferenceOfMeans. Both partitions are
+// summed from the class vectors (no total-minus-selected subtraction), in
+// ascending class order.
+func (cs *ClassSums) DifferenceOfMeans(selected func(v uint8) bool) float64 {
+	if cs.pts == 0 {
+		return 0
+	}
+	if cs.scratch0 == nil {
+		cs.scratch0 = make([]float64, cs.pts)
+		cs.scratch1 = make([]float64, cs.pts)
+	}
+	sum0, sum1 := cs.scratch0, cs.scratch1
+	clear(sum0)
+	clear(sum1)
+	var n0, n1 float64
+	for v := 0; v < 256; v++ {
+		s := cs.sums[v]
+		if s == nil {
+			continue
+		}
+		if selected(uint8(v)) {
+			n1 += float64(cs.count[v])
+			for j, x := range s {
+				sum1[j] += x
+			}
+		} else {
+			n0 += float64(cs.count[v])
+			for j, x := range s {
+				sum0[j] += x
+			}
+		}
+	}
+	if n0 == 0 || n1 == 0 {
+		return 0
+	}
+	best := 0.0
+	for j := 0; j < cs.pts; j++ {
 		d := math.Abs(sum1[j]/n1 - sum0[j]/n0)
 		if d > best {
 			best = d
