@@ -134,6 +134,18 @@ func (p *Predictor) RSBDepth() int {
 	return p.rsbSP
 }
 
+// Reset returns the predictor to its as-built state: all prediction
+// state flushed and the accuracy counters zeroed. The platform pool uses
+// it to recycle cores across measurement passes; Flush alone is the
+// architectural mitigation and deliberately keeps the statistics.
+func (p *Predictor) Reset() {
+	p.Flush()
+	p.BranchPredicts = 0
+	p.BranchMiss = 0
+	p.TargetPredicts = 0
+	p.TargetMiss = 0
+}
+
 // Flush clears all prediction state: the predictor-isolation mitigation.
 func (p *Predictor) Flush() {
 	for i := range p.pht {

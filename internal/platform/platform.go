@@ -110,6 +110,40 @@ type Platform struct {
 // Core returns core i.
 func (p *Platform) Core(i int) *cpu.CPU { return p.Cores[i] }
 
+// Reset returns the platform's microarchitectural state to its as-built
+// condition: every cache level, TLB and branch predictor resets (lines
+// invalid, partitions and randomized mappings removed, statistics and
+// replacement state cleared) and defense-installed cacheability filters
+// drop back to nil. Assembly-time wiring — the inclusive-LLC
+// back-invalidation hook, per-core memory-latency hooks — is preserved,
+// and memory contents, CPU register state and controller filters are
+// untouched: the platform pool uses Reset to recycle a platform across
+// measurement passes of the cache scenarios, which drive only the
+// microarchitectural substrate, so a reset platform measures exactly like
+// a freshly assembled one at a fraction of the construction cost (the
+// server LLC alone backs 128Ki lines).
+func (p *Platform) Reset() {
+	if p.LLC != nil {
+		p.LLC.Reset()
+	}
+	for _, c := range p.Cores {
+		if h := c.Hier; h != nil {
+			for _, cc := range []*cache.Cache{h.L1I, h.L1D, h.L2} {
+				if cc != nil {
+					cc.Reset()
+				}
+			}
+			h.Cacheability = nil
+		}
+		if c.TLB != nil {
+			c.TLB.Reset()
+		}
+		if c.Pred != nil {
+			c.Pred.Reset()
+		}
+	}
+}
+
 // NewServer builds the stationary high-performance platform: speculative
 // out-of-order-style cores, three-level cache hierarchy, large shared LLC.
 func NewServer() *Platform {

@@ -106,6 +106,23 @@ type Env struct {
 	Defenses []defense.Defense
 
 	cfg *defense.Config
+
+	// pool recycles the cell's platform across measurement passes: the
+	// adaptive engine's escalation passes each mount the scenario afresh,
+	// and rebuilding the whole hierarchy (the server LLC alone backs
+	// 128Ki lines) per pass dwarfed the measurement on hard cells.
+	// Batch shares the pointer, so every pass of one cell reuses one
+	// platform; distinct cells (distinct Envs) never share.
+	pool *platformPool
+}
+
+// platformPool holds one reusable platform per cell. NewPlatform resets
+// and re-configures the pooled instance instead of assembling a new one;
+// that is safe because every scenario builds its platform at the top of a
+// mount and abandons it when the mount returns, so at most one pass uses
+// the platform at a time.
+type platformPool struct {
+	p *platform.Platform
 }
 
 // NewEnv builds the environment for one (architecture, job) pair with the
@@ -142,7 +159,7 @@ func NewEnvWithDefenses(arch string, samples int, seed int64, rng *rand.Rand, de
 		d.Configure(cfg)
 	}
 	return &Env{Arch: arch, Class: class, Samples: samples, Seed: seed, RNG: rng,
-		Defenses: defenses, cfg: cfg}, nil
+		Defenses: defenses, cfg: cfg, pool: &platformPool{}}, nil
 }
 
 // Batch derives the environment for sequential-sampling batch i of this
@@ -201,14 +218,27 @@ func (e *Env) Features() cpu.Features {
 	}
 }
 
-// NewPlatform assembles a fresh platform of the architecture's class and
-// applies the cell's defense configuration — the platform hooks the
-// §4.1 cache-isolation defenses installed via Configure. With the stock
+// NewPlatform returns a platform of the architecture's class with the
+// cell's defense configuration applied — the platform hooks the §4.1
+// cache-isolation defenses installed via Configure. With the stock
 // defense set this reproduces the paper's wiring (LLC way-partitioning on
 // Sanctum, cache exclusion/coloring on Sanctuary, nothing on SGX or
 // TrustZone) from registry metadata instead of the hard-coded
 // per-architecture block this method used to carry.
+//
+// The first call assembles the platform; later calls on the same cell
+// (the adaptive engine's escalation passes reach here through Batch,
+// which shares the pool) reset the pooled instance back to its as-built
+// microarchitectural state and re-apply the same configuration, which
+// measures bit-identically to a fresh assembly without re-deriving the
+// whole hierarchy.
 func (e *Env) NewPlatform() *platform.Platform {
+	if e.pool != nil && e.pool.p != nil {
+		p := e.pool.p
+		p.Reset()
+		e.cfg.Apply(p)
+		return p
+	}
 	var p *platform.Platform
 	switch e.Class {
 	case ClassServer:
@@ -219,6 +249,9 @@ func (e *Env) NewPlatform() *platform.Platform {
 		p = platform.NewEmbedded()
 	}
 	e.cfg.Apply(p)
+	if e.pool != nil {
+		e.pool.p = p
+	}
 	return p
 }
 
