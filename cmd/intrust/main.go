@@ -6,9 +6,10 @@
 // Usage:
 //
 //	intrust [-quick] [fig1|arch|cachesca|transient|physical|all]
-//	intrust sweep [-arch a,b|all] [-attack scenario|family,...|all] [-defense none|stock|name,...|all] [-samples N] [-confidence C] [-maxsamples N] [-parallel N] [-json] [-diff]
+//	intrust sweep [-arch a,b|all] [-attack scenario|family,...|all] [-defense none|stock|name,...|all] [-samples N] [-confidence C] [-maxsamples N] [-parallel N] [-json] [-diff] [-cpuprofile f] [-memprofile f]
 //	intrust attacks [-family f] [-markdown] [-o file]
 //	intrust defenses [-family f] [-markdown] [-o file]
+//	intrust bench [-o BENCH_sweep.json] [-baseline file] [-maxregress 0.25] [-parallel N]
 //
 // The sweep's -attack flag accepts individual scenario names
 // ("flush+reload", "clkscrew") as well as family names ("cachesca"),
@@ -26,6 +27,14 @@
 // target, hard cells escalate up to the -maxsamples cap, and each row
 // reports its realized sample cost and verdict confidence.
 // -confidence 0 restores the fixed per-cell budget.
+//
+// The bench mode runs the canonical sweep configurations (the none+stock
+// grid, fixed and adaptive) through internal/perf and writes the
+// BENCH_sweep.json throughput artifact; with -baseline it also fails when
+// cells/sec regresses past -maxregress against the checked-in report —
+// the CI gate that tracks substrate performance across PRs. The sweep's
+// -cpuprofile/-memprofile flags write pprof profiles for hunting the next
+// hot spot (see docs/PERFORMANCE.md).
 package main
 
 import (
@@ -36,9 +45,13 @@ import (
 	"strings"
 	"time"
 
+	"runtime"
+	"runtime/pprof"
+
 	"github.com/intrust-sim/intrust/internal/core"
 	"github.com/intrust-sim/intrust/internal/defense"
 	"github.com/intrust-sim/intrust/internal/engine"
+	"github.com/intrust-sim/intrust/internal/perf"
 	"github.com/intrust-sim/intrust/internal/scenario"
 	"github.com/intrust-sim/intrust/internal/stats"
 )
@@ -58,6 +71,9 @@ func main() {
 	}
 	if what == "defenses" {
 		os.Exit(runDefenses(flag.Args()[1:]))
+	}
+	if what == "bench" {
+		os.Exit(runBench(flag.Args()[1:]))
 	}
 	samples := 400
 	secretLen := 16
@@ -136,7 +152,7 @@ func main() {
 		})
 	}
 	if !any {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want sweep|attacks|defenses|fig1|arch|cachesca|transient|physical|all)\n", what)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want sweep|attacks|defenses|bench|fig1|arch|cachesca|transient|physical|all)\n", what)
 		os.Exit(2)
 	}
 }
@@ -209,7 +225,37 @@ func runSweep(args []string) int {
 	parallel := fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
 	jsonOut := fs.Bool("json", false, "emit the machine-readable engine report instead of the text table")
 	diff := fs.Bool("diff", false, "also report which cells each defense flips versus the none baseline (adds none to the axis)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile (after the sweep) to this file")
 	fs.Parse(args)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			}
+		}()
+	}
 
 	defenses := splitList(*defenseFlag)
 	if *diff && *jsonOut {
@@ -337,6 +383,53 @@ func runDefenses(args []string) int {
 		return 0
 	}
 	fmt.Print(rendering)
+	return 0
+}
+
+// runBench measures the canonical sweep configurations through
+// internal/perf, writes the BENCH_sweep.json artifact, and (with
+// -baseline) gates cells/sec against the checked-in report — the CI
+// bench job's substance.
+func runBench(args []string) int {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	outPath := fs.String("o", "BENCH_sweep.json", "write the throughput report to this file")
+	baseline := fs.String("baseline", "", "compare cells/sec against this checked-in report and fail on regression")
+	maxRegress := fs.Float64("maxregress", 0.25, "maximum tolerated cells/sec regression vs the baseline (fraction)")
+	parallel := fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
+	fs.Parse(args)
+
+	rep, err := perf.Run(*parallel, perf.CanonicalConfigs())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	for i := range rep.Configs {
+		fmt.Println(rep.Configs[i].String())
+	}
+	fmt.Printf("allocs/access: %g (%s, %d workers)\n", rep.AllocsPerAccess, rep.GoVersion, rep.Parallel)
+	f, err := os.Create(*outPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("[throughput report written to %s]\n", *outPath)
+	if *baseline != "" {
+		base, err := perf.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			return 1
+		}
+		if err := perf.Compare(base, rep, *maxRegress); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("[no regression past %.0f%% vs %s]\n", *maxRegress*100, *baseline)
+	}
 	return 0
 }
 
