@@ -1,0 +1,70 @@
+package cachesca
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/intrust-sim/intrust/internal/cache"
+)
+
+// TestExtendAllocs pins the steady-state allocation count of the
+// resumable attacks' sample loops at zero: one Flush+Reload sample walks
+// 64 flushes, one encryption and 64 reloads through the hierarchy, and
+// none of it may touch the heap now that the plaintext buffers and
+// eviction tables live on the run.
+func TestExtendAllocs(t *testing.T) {
+	hier := func() (*cache.Hierarchy, *cache.Cache) {
+		llc := cache.New(cache.Config{Name: "llc", Sets: 1024, Ways: 16, LineSize: 64, HitLatency: 34})
+		return &cache.Hierarchy{
+			L1I:        cache.New(cache.Config{Name: "l1i", Sets: 64, Ways: 8, LineSize: 64, HitLatency: 2}),
+			L1D:        cache.New(cache.Config{Name: "l1d", Sets: 64, Ways: 8, LineSize: 64, HitLatency: 3}),
+			LLC:        llc,
+			MemLatency: 160,
+		}, llc
+	}
+
+	t.Run("flush+reload", func(t *testing.T) {
+		h, _ := hier()
+		v, err := NewVictim(h, []byte("alloc test key16"), 5, 0x40000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := NewFlushReloadRun(v, 9)
+		rng := rand.New(rand.NewSource(1))
+		if avg := testing.AllocsPerRun(100, func() {
+			run.Extend(1, rng)
+		}); avg != 0 {
+			t.Errorf("FlushReloadRun.Extend allocates %v objects per sample, want 0", avg)
+		}
+	})
+
+	t.Run("prime+probe", func(t *testing.T) {
+		h, llc := hier()
+		v, err := NewVictim(h, []byte("alloc test key16"), 5, 0x40000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := NewPrimeProbeRun(v, llc, 9)
+		rng := rand.New(rand.NewSource(2))
+		if avg := testing.AllocsPerRun(100, func() {
+			run.Extend(1, rng)
+		}); avg != 0 {
+			t.Errorf("PrimeProbeRun.Extend allocates %v objects per sample, want 0", avg)
+		}
+	})
+
+	t.Run("evict+time", func(t *testing.T) {
+		h, _ := hier()
+		v, err := NewVictim(h, []byte("alloc test key16"), 5, 0x40000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := NewEvictTimeRun(v)
+		rng := rand.New(rand.NewSource(3))
+		if avg := testing.AllocsPerRun(100, func() {
+			run.Extend(1, rng)
+		}); avg != 0 {
+			t.Errorf("EvictTimeRun.Extend allocates %v objects per sample, want 0", avg)
+		}
+	})
+}
