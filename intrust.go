@@ -42,6 +42,7 @@ import (
 	"github.com/intrust-sim/intrust/internal/defense"
 	"github.com/intrust-sim/intrust/internal/engine"
 	"github.com/intrust-sim/intrust/internal/isa"
+	"github.com/intrust-sim/intrust/internal/perf"
 	"github.com/intrust-sim/intrust/internal/platform"
 	"github.com/intrust-sim/intrust/internal/power"
 	"github.com/intrust-sim/intrust/internal/scenario"
@@ -460,4 +461,37 @@ var (
 	// AllDefenseNames lists the registered mitigation names on the
 	// -defense axis.
 	AllDefenseNames = core.AllDefenseNames
+)
+
+// Performance tracking: the canonical sweep configurations measured end
+// to end into the BENCH_sweep.json artifact (the `intrust bench` CLI
+// mode), with a regression gate against a checked-in baseline. See
+// docs/PERFORMANCE.md.
+type (
+	// PerfConfig names one benched sweep configuration (axis selection,
+	// sample budget, sampling mode).
+	PerfConfig = perf.Config
+	// PerfResult is one configuration's measured throughput and sample
+	// cost.
+	PerfResult = perf.Result
+	// PerfReport is the BENCH_sweep.json artifact: environment,
+	// allocations per cache access, and one PerfResult per
+	// configuration.
+	PerfReport = perf.Report
+)
+
+// Performance-tracking entry points.
+var (
+	// PerfCanonicalConfigs returns the tracked configurations (the
+	// none+stock grid, fixed and adaptive).
+	PerfCanonicalConfigs = perf.CanonicalConfigs
+	// PerfRun measures configurations on the engine worker pool.
+	PerfRun = perf.Run
+	// PerfCompare gates a fresh report against a baseline's cells/sec.
+	PerfCompare = perf.Compare
+	// PerfReadFile loads a report written by `intrust bench`.
+	PerfReadFile = perf.ReadFile
+	// AllocsPerAccess measures heap allocations per cache-hierarchy
+	// access (tracked at zero for the flattened substrate).
+	AllocsPerAccess = perf.AllocsPerAccess
 )
