@@ -1,0 +1,9 @@
+//go:build race
+
+package perf
+
+// The race runtime allocates sporadically on its own account, which the
+// MemStats-based allocation measurement cannot distinguish from substrate
+// allocations; the exact-zero pin only holds (and only matters) in the
+// uninstrumented build the bench artifact is produced from.
+func init() { raceDetectorEnabled = true }
