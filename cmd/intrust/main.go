@@ -424,6 +424,15 @@ func runBench(args []string) int {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			return 1
 		}
+		if !perf.SameEnvironment(base, rep) {
+			// Cells/sec is hardware-relative: a baseline from a different
+			// environment can neither prove nor disprove a regression, so
+			// the gate degrades to a notice and the fresh report (kept as
+			// a build artifact) carries the trajectory instead.
+			fmt.Printf("[baseline %s was measured in a different environment (%s, gomaxprocs %d, %d workers); cells/sec gate skipped — refresh the baseline from this environment to re-arm it]\n",
+				*baseline, base.GoVersion, base.GOMAXPROCS, base.Parallel)
+			return 0
+		}
 		if err := perf.Compare(base, rep, *maxRegress); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			return 1

@@ -158,12 +158,23 @@ func AllocsPerAccess() float64 {
 	return float64(m1.Mallocs-m0.Mallocs) / accesses
 }
 
+// SameEnvironment reports whether two reports were measured in
+// comparable environments: same Go release, same GOMAXPROCS, same
+// worker-pool size. Cells/sec is hardware-relative, so regressing-gate
+// comparisons are only meaningful between matching environments — the
+// bench CLI downgrades the gate to informational when they differ,
+// instead of failing (or passing) on a hardware change.
+func SameEnvironment(a, b *Report) bool {
+	return a.GoVersion == b.GoVersion && a.GOMAXPROCS == b.GOMAXPROCS && a.Parallel == b.Parallel
+}
+
 // Compare checks a current report against the checked-in baseline: every
 // configuration present in both must not regress its cells/sec by more
 // than maxRegress (a fraction: 0.25 allows a 25% drop). Configurations
 // new to the current report pass — they have no baseline yet — and a
 // schema mismatch fails loudly rather than comparing numbers that mean
-// different things.
+// different things. Callers should gate on SameEnvironment first;
+// Compare itself only compares the numbers it is given.
 func Compare(baseline, current *Report, maxRegress float64) error {
 	if baseline.Schema != current.Schema {
 		return fmt.Errorf("perf: baseline schema %d != current schema %d (refresh the baseline)",
