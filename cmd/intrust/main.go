@@ -7,6 +7,7 @@
 //
 //	intrust [-quick] [fig1|arch|cachesca|transient|physical|all]
 //	intrust sweep [-arch a,b|all] [-attack scenario|family,...|all] [-defense none|stock|name,...|all] [-samples N] [-confidence C] [-maxsamples N] [-parallel N] [-json] [-diff] [-cpuprofile f] [-memprofile f]
+//	intrust serve [-addr :8089] [-cache N] [-maxinflight N] [-queue N] [-seed N] [-drain 30s]
 //	intrust attacks [-family f] [-markdown] [-o file]
 //	intrust defenses [-family f] [-markdown] [-o file]
 //	intrust bench [-o BENCH_sweep.json] [-baseline file] [-maxregress 0.25] [-parallel N]
@@ -28,6 +29,14 @@
 // reports its realized sample cost and verdict confidence.
 // -confidence 0 restores the fixed per-cell budget.
 //
+// The serve mode runs the sweep as a long-lived HTTP/JSON service
+// (internal/serve): /cell and /sweep answer grid queries through a
+// content-addressed result cache — the engine's deterministic per-job
+// seeding makes a cached cell byte-identical to a fresh one, so
+// repeated queries are O(1) — with bounded admission (429 + Retry-After
+// under overload), NDJSON streaming for grid selections, Prometheus
+// metrics at /metrics, and graceful drain on SIGINT/SIGTERM.
+//
 // The bench mode runs the canonical sweep configurations (the none+stock
 // grid, fixed and adaptive) through internal/perf and writes the
 // BENCH_sweep.json throughput artifact; with -baseline it also fails when
@@ -42,7 +51,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"runtime"
@@ -53,6 +64,7 @@ import (
 	"github.com/intrust-sim/intrust/internal/engine"
 	"github.com/intrust-sim/intrust/internal/perf"
 	"github.com/intrust-sim/intrust/internal/scenario"
+	"github.com/intrust-sim/intrust/internal/serve"
 	"github.com/intrust-sim/intrust/internal/stats"
 )
 
@@ -65,6 +77,9 @@ func main() {
 	}
 	if what == "sweep" {
 		os.Exit(runSweep(flag.Args()[1:]))
+	}
+	if what == "serve" {
+		os.Exit(runServe(flag.Args()[1:]))
 	}
 	if what == "attacks" {
 		os.Exit(runAttacks(flag.Args()[1:]))
@@ -152,7 +167,7 @@ func main() {
 		})
 	}
 	if !any {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want sweep|attacks|defenses|bench|fig1|arch|cachesca|transient|physical|all)\n", what)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want sweep|serve|attacks|defenses|bench|fig1|arch|cachesca|transient|physical|all)\n", what)
 		os.Exit(2)
 	}
 }
@@ -324,6 +339,41 @@ func runSweep(args []string) int {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", runErr)
 		return 1
 	}
+	return 0
+}
+
+// runServe runs the sweep-as-a-service HTTP API until SIGINT/SIGTERM,
+// then drains gracefully: in-flight cells complete, late requests get
+// 503 while the listener winds down.
+func runServe(args []string) int {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8089", "listen address")
+	cacheN := fs.Int("cache", 4096, "content-addressed result cache bound (entries, LRU)")
+	maxInFlight := fs.Int("maxinflight", 0, "concurrently computing requests (0 = GOMAXPROCS); cache hits are not limited")
+	queue := fs.Int("queue", 64, "admission queue depth before requests are answered 429")
+	seed := fs.Int64("seed", 0, "base engine seed cells compute under")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown bound for in-flight cells")
+	fs.Parse(args)
+
+	s := serve.New(serve.Options{
+		CacheEntries: *cacheN,
+		MaxInFlight:  *maxInFlight,
+		QueueDepth:   *queue,
+		Seed:         *seed,
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	slots := *maxInFlight
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("[intrust serve listening on %s (cache %d entries, %d compute slots, queue %d)]\n",
+		*addr, *cacheN, slots, *queue)
+	if err := s.ListenAndServe(ctx, *addr, *drain); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		return 1
+	}
+	fmt.Println("[intrust serve drained cleanly]")
 	return 0
 }
 

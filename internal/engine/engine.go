@@ -184,6 +184,13 @@ feed:
 	return results, nil
 }
 
+// RunOne executes a single experiment synchronously, outside any worker
+// pool, with the same per-job seed derivation and panic confinement as
+// Run — the cell-level entry point the serve layer computes individual
+// grid cells through. A RunOne result is bit-identical (modulo wall
+// clock) to the same experiment's result inside a pooled Run.
+func RunOne(ctx context.Context, exp Experiment) Result { return runOne(ctx, exp) }
+
 // runOne executes a single experiment with panic confinement, so one
 // misbehaving job reports as a failed Result instead of killing the pool.
 func runOne(ctx context.Context, exp Experiment) (res Result) {

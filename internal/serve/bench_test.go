@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// expensiveCell is a genuinely costly cold computation: a fixed-budget
+// dpa trace collection well above the scenario floor.
+const expensiveCell = "/cell?scenario=dpa&arch=sgx&defense=none&samples=6000&confidence=0"
+
+// TestWarmCellSpeedup is the cache acceptance criterion: a warm /cell
+// must be at least 100x faster than the cold computation it replays,
+// and the hit/miss traffic must be visible at /metrics.
+func TestWarmCellSpeedup(t *testing.T) {
+	s := newTestServer(Options{})
+
+	start := time.Now()
+	rec := get(t, s, expensiveCell)
+	cold := time.Since(start)
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("cold = %d X-Cache=%q", rec.Code, rec.Header().Get("X-Cache"))
+	}
+
+	const warmRounds = 200
+	warmBest := time.Duration(1 << 62)
+	for i := 0; i < warmRounds; i++ {
+		start = time.Now()
+		rec := get(t, s, expensiveCell)
+		if d := time.Since(start); d < warmBest {
+			warmBest = d
+		}
+		if rec.Code != http.StatusOK || rec.Header().Get("X-Cache") != "hit" {
+			t.Fatalf("warm round %d = %d X-Cache=%q", i, rec.Code, rec.Header().Get("X-Cache"))
+		}
+	}
+	t.Logf("cold %v, warm best-of-%d %v (%.0fx)", cold, warmRounds, warmBest, float64(cold)/float64(warmBest))
+	if cold < 100*warmBest {
+		t.Errorf("warm cell only %.1fx faster than cold (%v vs %v), want >= 100x",
+			float64(cold)/float64(warmBest), warmBest, cold)
+	}
+
+	metrics := get(t, s, "/metrics").Body.String()
+	if !strings.Contains(metrics, fmt.Sprintf("intrust_cache_hits_total %d", warmRounds)) {
+		t.Errorf("/metrics does not account the %d warm hits:\n%s", warmRounds, metrics)
+	}
+	if !strings.Contains(metrics, "intrust_cache_misses_total 1") {
+		t.Errorf("/metrics does not account the cold miss")
+	}
+}
+
+// BenchmarkCellWarm times the cache hit path end to end through the
+// handler stack (mux, instrumentation, LRU promotion, body write).
+func BenchmarkCellWarm(b *testing.B) {
+	s := newTestServer(Options{})
+	const target = "/cell?scenario=spectre-v1&arch=sgx&defense=none&samples=32"
+	if rec := warmup(b, s, target); rec != http.StatusOK {
+		b.Fatalf("warmup = %d", rec)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, target, nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("warm = %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkCellCold times the full compute path; every iteration
+// addresses a distinct seed so the cache never helps.
+func BenchmarkCellCold(b *testing.B) {
+	s := newTestServer(Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target := fmt.Sprintf("/cell?scenario=spectre-v1&arch=sgx&defense=none&samples=32&seed=%d", i+1)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, target, nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("cold = %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkSweepWarm times a fully-warm 40-cell NDJSON stream — the
+// serve layer's steady-state grid query.
+func BenchmarkSweepWarm(b *testing.B) {
+	s := newTestServer(Options{})
+	const target = "/sweep?attack=transient&defense=none&samples=32"
+	if rec := warmup(b, s, target); rec != http.StatusOK {
+		b.Fatalf("warmup = %d", rec)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, target, nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("warm sweep = %d", rec.Code)
+		}
+	}
+}
+
+func warmup(b *testing.B, s *Server, target string) int {
+	b.Helper()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, target, nil))
+	return rec.Code
+}

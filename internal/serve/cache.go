@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// cellCache is the content-addressed result cache: canonical CellKey
+// encoding -> rendered response body, bounded by an LRU eviction
+// policy. Determinism is what makes it sound — the engine's per-job
+// seeding guarantees a cached body is byte-identical to what a fresh
+// computation of the same key would render — so the cache never needs
+// invalidation, only bounding.
+type cellCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newCellCache(max int) *cellCache {
+	if max <= 0 {
+		max = 4096
+	}
+	return &cellCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached body for a key, promoting it to most recently
+// used, and counts the hit or miss.
+func (c *cellCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// lookup is get without the hit/miss accounting: the singleflight
+// re-check path, which would otherwise double-count a cold request's
+// miss (the handler's own get already counted it).
+func (c *cellCache) lookup(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// peek reports whether a key is cached without promoting it or touching
+// the hit/miss counters (the sweep handler's upfront miss scan).
+func (c *cellCache) peek(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
+// put stores a body under a key, evicting from the LRU tail past the
+// bound. Storing an existing key refreshes its recency but keeps the
+// first body: contents are content-addressed, so both writers hold the
+// same bytes.
+func (c *cellCache) put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	for c.ll.Len() > c.max {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.items, tail.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// len returns the current entry count.
+func (c *cellCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// flightGroup deduplicates concurrent computations of the same key:
+// the first caller (the leader) runs fn, everyone else arriving before
+// it finishes blocks and shares the leader's result. Errors are shared
+// with the in-flight followers but never retained — the next request
+// retries fresh.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do runs fn under the key's flight, returning the shared result and
+// whether this caller was a follower (shared == true).
+func (g *flightGroup) do(key string, fn func() ([]byte, error)) (body []byte, err error, shared bool) {
+	g.mu.Lock()
+	if call, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-call.done
+		return call.body, call.err, true
+	}
+	call := &flightCall{done: make(chan struct{})}
+	g.calls[key] = call
+	g.mu.Unlock()
+
+	call.body, call.err = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(call.done)
+	return call.body, call.err, false
+}

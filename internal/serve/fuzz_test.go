@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/intrust-sim/intrust/internal/core"
+)
+
+// FuzzCacheKey fuzzes the cache address encoding the whole service
+// content-addresses by: Encode must never panic, must be injective
+// (distinct keys never collide on one address — a collision would serve
+// one cell's verdict for another), and must round-trip exactly through
+// the strict decoder.
+func FuzzCacheKey(f *testing.F) {
+	f.Add("flush+reload", "sgx", "none", 64, 0.9, 0, int64(0))
+	f.Add("dpa", "trustzone", "ct-aes+clock-jitter", 1500, 0.99, 6000, int64(-7))
+	f.Add("weird|scenario", "a%b", "x%7Cy", -3, 0.5, 9, int64(1)<<62)
+	f.Add("", "", "", 0, 0.0, 0, int64(0))
+	f.Add("a|b%25c", "|", "%", math.MaxInt, math.SmallestNonzeroFloat64, math.MinInt, int64(math.MinInt64))
+	f.Fuzz(func(t *testing.T, scen, arch, def string, samples int, conf float64, maxs int, seed int64) {
+		if math.IsNaN(conf) {
+			t.Skip("NaN never equals itself; the resolver rejects it before a key exists")
+		}
+		k := core.CellKey{Scenario: scen, Arch: arch, Defense: def,
+			Samples: samples, Confidence: conf, MaxSamples: maxs, Seed: seed}
+		enc := k.Encode() // must not panic on any input
+		got, err := core.DecodeCellKey(enc)
+		if err != nil {
+			t.Fatalf("decode(encode(%+v)) = %v", k, err)
+		}
+		if got != k {
+			t.Fatalf("round trip changed the key:\n in: %+v\nout: %+v\nvia: %q", k, got, enc)
+		}
+		// Injectivity witness: a key differing in any single field must
+		// encode differently. (Full injectivity follows from the exact
+		// round trip above; this catches encoders that drop a field.)
+		for _, other := range []core.CellKey{
+			{Scenario: scen + "x", Arch: arch, Defense: def, Samples: samples, Confidence: conf, MaxSamples: maxs, Seed: seed},
+			{Scenario: scen, Arch: arch + "x", Defense: def, Samples: samples, Confidence: conf, MaxSamples: maxs, Seed: seed},
+			{Scenario: scen, Arch: arch, Defense: def + "x", Samples: samples, Confidence: conf, MaxSamples: maxs, Seed: seed},
+			{Scenario: scen, Arch: arch, Defense: def, Samples: samples ^ 1, Confidence: conf, MaxSamples: maxs, Seed: seed},
+			{Scenario: scen, Arch: arch, Defense: def, Samples: samples, Confidence: conf, MaxSamples: maxs ^ 1, Seed: seed},
+			{Scenario: scen, Arch: arch, Defense: def, Samples: samples, Confidence: conf, MaxSamples: maxs, Seed: seed ^ 1},
+		} {
+			if other.Encode() == enc {
+				t.Fatalf("distinct keys collide on %q:\n%+v\n%+v", enc, k, other)
+			}
+		}
+		// The field separator must never leak: an unescaped '|' in a
+		// field would let crafted axis strings forge other keys.
+		if n := strings.Count(enc, "|"); n != 8 {
+			t.Fatalf("encoding %q has %d separators, want 8", enc, n)
+		}
+	})
+}
+
+// FuzzCacheKeyDecode fuzzes the decoder with raw strings: it must never
+// panic, and anything it accepts must be a canonical encoding —
+// encode(decode(s)) == s — so no two distinct wire strings alias one
+// cache entry.
+func FuzzCacheKeyDecode(f *testing.F) {
+	f.Add("cell|v1|flush+reload|sgx|none|64|0.9|0|0")
+	f.Add("cell|v1|a%7Cb|c%25d||0|0|0|-1")
+	f.Add("cell|v1||||0|0|0|0")
+	f.Add("not a key")
+	f.Add("cell|v1|a|b|c|1|0|0|0|trailing")
+	f.Fuzz(func(t *testing.T, s string) {
+		k, err := core.DecodeCellKey(s) // must not panic on any input
+		if err != nil {
+			return
+		}
+		if enc := k.Encode(); enc != s {
+			t.Fatalf("decoder accepted non-canonical %q (canonical form %q)", s, enc)
+		}
+	})
+}

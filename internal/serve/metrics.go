@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the service's Prometheus-style instrumentation: request
+// counters and latency histograms per endpoint, plus the cell-compute
+// throughput counters the cells/sec rate derives from. Cache and
+// admission numbers live on their own structs (cellCache, admission)
+// and are rendered alongside these in the /metrics exposition.
+//
+// Everything is hand-rolled on purpose: the container bakes in no
+// Prometheus client library, and the text exposition format is simple
+// enough that deterministic, dependency-free rendering is less code
+// than an adapter would be.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]int64      // endpoint \x00 code -> count
+	latency  map[string]*histogram // endpoint -> seconds histogram
+
+	cellsComputed  atomic.Int64
+	cellComputeUS  atomic.Int64 // summed compute wall clock, microseconds
+	cellsStreamed  atomic.Int64
+	cellErrors     atomic.Int64
+}
+
+// latencyBuckets are the per-endpoint histogram bounds in seconds; +Inf
+// is implicit.
+var latencyBuckets = []float64{0.0005, 0.002, 0.01, 0.05, 0.25, 1, 5}
+
+type histogram struct {
+	counts []int64 // one per bucket, non-cumulative
+	inf    int64
+	sum    float64
+	count  int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[string]int64),
+		latency:  make(map[string]*histogram),
+	}
+}
+
+// observeRequest records one finished request: its endpoint, status
+// code and wall-clock duration.
+func (m *metrics) observeRequest(endpoint string, code int, d time.Duration) {
+	secs := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[endpoint+"\x00"+strconv.Itoa(code)]++
+	h := m.latency[endpoint]
+	if h == nil {
+		h = &histogram{counts: make([]int64, len(latencyBuckets))}
+		m.latency[endpoint] = h
+	}
+	h.sum += secs
+	h.count++
+	for i, b := range latencyBuckets {
+		if secs <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.inf++
+}
+
+// observeCompute records one computed (cold) cell and its cost.
+func (m *metrics) observeCompute(d time.Duration, failed bool) {
+	m.cellsComputed.Add(1)
+	m.cellComputeUS.Add(d.Microseconds())
+	if failed {
+		m.cellErrors.Add(1)
+	}
+}
+
+// render writes the full text exposition (version 0.0.4): the request
+// and compute metrics above plus the cache and admission state passed
+// in. Output is deterministically ordered so scrapes diff cleanly.
+func (m *metrics) render(w io.Writer, cache *cellCache, adm *admission) {
+	writeHeader := func(name, typ, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+
+	writeHeader("intrust_requests_total", "counter", "HTTP requests served, by endpoint and status code.")
+	m.mu.Lock()
+	reqKeys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	sort.Strings(reqKeys)
+	for _, k := range reqKeys {
+		endpoint, code, _ := strings.Cut(k, "\x00")
+		fmt.Fprintf(w, "intrust_requests_total{endpoint=%q,code=%q} %d\n", endpoint, code, m.requests[k])
+	}
+
+	writeHeader("intrust_request_seconds", "histogram", "Request latency by endpoint.")
+	epKeys := make([]string, 0, len(m.latency))
+	for k := range m.latency {
+		epKeys = append(epKeys, k)
+	}
+	sort.Strings(epKeys)
+	for _, ep := range epKeys {
+		h := m.latency[ep]
+		var cum int64
+		for i, b := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "intrust_request_seconds_bucket{endpoint=%q,le=%q} %d\n", ep, formatBound(b), cum)
+		}
+		cum += h.inf
+		fmt.Fprintf(w, "intrust_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
+		fmt.Fprintf(w, "intrust_request_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
+		fmt.Fprintf(w, "intrust_request_seconds_count{endpoint=%q} %d\n", ep, h.count)
+	}
+	m.mu.Unlock()
+
+	writeHeader("intrust_cells_computed_total", "counter", "Grid cells computed cold (cache misses that ran the engine).")
+	fmt.Fprintf(w, "intrust_cells_computed_total %d\n", m.cellsComputed.Load())
+	writeHeader("intrust_cell_compute_seconds_total", "counter", "Wall clock summed over cold cell computations; rate() against intrust_cells_computed_total gives cells/sec.")
+	fmt.Fprintf(w, "intrust_cell_compute_seconds_total %g\n", float64(m.cellComputeUS.Load())/1e6)
+	writeHeader("intrust_cells_streamed_total", "counter", "Cells written to /sweep NDJSON streams.")
+	fmt.Fprintf(w, "intrust_cells_streamed_total %d\n", m.cellsStreamed.Load())
+	writeHeader("intrust_cell_errors_total", "counter", "Cell computations that returned an engine error.")
+	fmt.Fprintf(w, "intrust_cell_errors_total %d\n", m.cellErrors.Load())
+
+	writeHeader("intrust_cache_hits_total", "counter", "Result-cache hits.")
+	fmt.Fprintf(w, "intrust_cache_hits_total %d\n", cache.hits.Load())
+	writeHeader("intrust_cache_misses_total", "counter", "Result-cache misses.")
+	fmt.Fprintf(w, "intrust_cache_misses_total %d\n", cache.misses.Load())
+	writeHeader("intrust_cache_evictions_total", "counter", "Result-cache LRU evictions.")
+	fmt.Fprintf(w, "intrust_cache_evictions_total %d\n", cache.evictions.Load())
+	writeHeader("intrust_cache_entries", "gauge", "Result-cache resident entries.")
+	fmt.Fprintf(w, "intrust_cache_entries %d\n", cache.len())
+
+	writeHeader("intrust_inflight_requests", "gauge", "Requests currently holding a compute slot.")
+	fmt.Fprintf(w, "intrust_inflight_requests %d\n", adm.inFlight.Load())
+	writeHeader("intrust_queue_waiting", "gauge", "Requests waiting in the admission queue.")
+	fmt.Fprintf(w, "intrust_queue_waiting %d\n", adm.waiting.Load())
+	writeHeader("intrust_rejected_total", "counter", "Requests rejected with 429 because the admission queue was full.")
+	fmt.Fprintf(w, "intrust_rejected_total %d\n", adm.rejected.Load())
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do
+// (shortest float form).
+func formatBound(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }

@@ -1,0 +1,251 @@
+// Package serve is the sweep-as-a-service layer: a long-running
+// HTTP/JSON API over the scenario × architecture × defense grid, so the
+// paper's efficacy surface is queried instead of recomputed.
+//
+// The service stands on the engine's determinism guarantee: every grid
+// cell's measurement is a pure function of its canonical CellKey
+// (scenario, arch, defense, samples, confidence, seed — see
+// internal/core), so a content-addressed result cache never serves a
+// stale or approximate answer — a cache hit is byte-identical to what a
+// fresh computation would render. Repeated queries are therefore O(1),
+// and the cache needs bounding (LRU) but never invalidation.
+//
+// Endpoints:
+//
+//	/healthz   liveness (503 while draining)
+//	/cell      one grid cell as JSON (X-Cache: hit|miss)
+//	/sweep     a grid selection as streaming NDJSON, one cell per line,
+//	           warm cells flowing immediately, plus a summary line
+//	/attacks   the scenario catalog as JSON
+//	/defenses  the mitigation catalog as JSON
+//	/bench     the internal/perf throughput report (computed once,
+//	           ?refresh=1 recomputes)
+//	/metrics   Prometheus text exposition (cells/sec, cache hit rate,
+//	           in-flight jobs, queue depth, per-endpoint latency)
+//
+// Backpressure: requests that need at least one cold cell pass through
+// a bounded admission queue (Options.MaxInFlight compute slots,
+// Options.QueueDepth waiters); past that the service answers 429 with
+// Retry-After instead of queueing without bound. Cache hits bypass
+// admission entirely — a saturated queue cannot slow the warm path.
+// Shutdown is graceful: BeginDrain flips new requests to 503 while
+// in-flight cells run to completion (ListenAndServe wires this to
+// context cancellation and http.Server.Shutdown).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"github.com/intrust-sim/intrust/internal/core"
+	"github.com/intrust-sim/intrust/internal/perf"
+)
+
+// Options configures a Server. The zero value selects the defaults
+// documented per field.
+type Options struct {
+	// CacheEntries bounds the result cache's LRU (<= 0 selects 4096).
+	CacheEntries int
+	// MaxInFlight bounds concurrently computing requests
+	// (<= 0 selects GOMAXPROCS).
+	MaxInFlight int
+	// QueueDepth bounds the admission queue: how many computing
+	// requests may wait for a slot before the service answers 429
+	// (<= 0 selects 64).
+	QueueDepth int
+	// Seed is the base engine seed cells compute under (the CLI sweep
+	// uses 0).
+	Seed int64
+	// BenchConfigs are the sweep configurations /bench measures
+	// (nil selects perf.CanonicalConfigs()).
+	BenchConfigs []perf.Config
+}
+
+// Server is the sweep-as-a-service HTTP handler plus its cache,
+// admission and metrics state. Create it with New; it is safe for
+// concurrent use by any number of requests.
+type Server struct {
+	opts     Options
+	cache    *cellCache
+	adm      *admission
+	met      *metrics
+	flight   *flightGroup
+	mux      *http.ServeMux
+	draining atomic.Bool
+
+	benchFlight *flightGroup
+	bench       atomic.Pointer[[]byte]
+	attacks     []byte
+	defenses    []byte
+}
+
+// testComputeStall, when non-nil, is called while holding a compute
+// slot before a cold cell runs — the deterministic seam the
+// backpressure and graceful-shutdown tests block on.
+var testComputeStall func(key core.CellKey)
+
+// New builds a Server from the options.
+func New(opts Options) *Server {
+	if opts.CacheEntries <= 0 {
+		opts.CacheEntries = 4096
+	}
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.BenchConfigs == nil {
+		opts.BenchConfigs = perf.CanonicalConfigs()
+	}
+	s := &Server{
+		opts:        opts,
+		cache:       newCellCache(opts.CacheEntries),
+		adm:         newAdmission(opts.MaxInFlight, opts.QueueDepth),
+		met:         newMetrics(),
+		flight:      newFlightGroup(),
+		benchFlight: newFlightGroup(),
+		mux:         http.NewServeMux(),
+	}
+	s.buildCatalogs()
+	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("/cell", s.instrument("/cell", s.handleCell))
+	s.mux.HandleFunc("/sweep", s.instrument("/sweep", s.handleSweep))
+	s.mux.HandleFunc("/attacks", s.instrument("/attacks", s.handleAttacks))
+	s.mux.HandleFunc("/defenses", s.instrument("/defenses", s.handleDefenses))
+	s.mux.HandleFunc("/bench", s.instrument("/bench", s.handleBench))
+	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// BeginDrain flips the server into draining mode: every new request
+// (including /healthz, so load balancers stop routing here) answers
+// 503 while requests already past admission run to completion. It is
+// idempotent; ListenAndServe calls it before http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// ListenAndServe serves on addr until ctx is cancelled, then drains
+// gracefully: new requests are refused (503, then the listener closes)
+// while in-flight cells complete, bounded by drainTimeout.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, drainTimeout time.Duration) error {
+	hs := &http.Server{Addr: addr, Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.BeginDrain()
+	shCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("serve: drain: %w", err)
+	}
+	if err := <-errc; err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// instrument wraps a handler with the draining gate and per-endpoint
+// request/latency metrics.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		if s.draining.Load() {
+			writeError(sw, http.StatusServiceUnavailable, "server is draining")
+		} else if r.Method != http.MethodGet {
+			sw.Header().Set("Allow", http.MethodGet)
+			writeError(sw, http.StatusMethodNotAllowed, fmt.Sprintf("method %s not allowed; endpoints are read-only GETs", r.Method))
+		} else {
+			h(sw, r)
+		}
+		s.met.observeRequest(endpoint, sw.code, time.Since(start))
+	}
+}
+
+// statusWriter captures the response code for metrics while preserving
+// the Flusher the streaming sweep handler needs.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying Flusher so NDJSON streaming works
+// through the instrumentation wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// apiError is the structured error body every non-2xx JSON response
+// carries: malformed axis values are a client's 400 with the same
+// message the CLI would print, never a 500.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(apiError{Error: msg})
+}
+
+// computeCell renders one cold cell: it re-checks the cache (another
+// flight may have landed it), runs the cell on the engine, and caches
+// the rendered body. Concurrent computations of the same key collapse
+// into one flight. The caller must already hold a compute slot.
+func (s *Server) computeCell(ctx context.Context, key core.CellKey) ([]byte, error) {
+	addr := key.Encode()
+	body, err, _ := s.flight.do(addr, func() ([]byte, error) {
+		if b, ok := s.cache.lookup(addr); ok {
+			return b, nil
+		}
+		if h := testComputeStall; h != nil {
+			h(key)
+		}
+		start := time.Now()
+		res, err := core.RunCell(ctx, key)
+		if err == nil && res.Failed() {
+			err = fmt.Errorf("cell %s: %s", addr, res.Err)
+		}
+		s.met.observeCompute(time.Since(start), err != nil)
+		if err != nil {
+			return nil, err
+		}
+		b := marshalLine(newCell(key, &res))
+		s.cache.put(addr, b)
+		return b, nil
+	})
+	return body, err
+}

@@ -43,6 +43,7 @@ import (
 	"github.com/intrust-sim/intrust/internal/engine"
 	"github.com/intrust-sim/intrust/internal/isa"
 	"github.com/intrust-sim/intrust/internal/perf"
+	"github.com/intrust-sim/intrust/internal/serve"
 	"github.com/intrust-sim/intrust/internal/platform"
 	"github.com/intrust-sim/intrust/internal/power"
 	"github.com/intrust-sim/intrust/internal/scenario"
@@ -494,4 +495,49 @@ var (
 	// AllocsPerAccess measures heap allocations per cache-hierarchy
 	// access (tracked at zero for the flattened substrate).
 	AllocsPerAccess = perf.AllocsPerAccess
+)
+
+// Sweep-as-a-service: the long-running HTTP/JSON API over the grid
+// (the `intrust serve` CLI mode). Cells are addressed by their
+// canonical CellKey; the engine's deterministic seeding makes the
+// service's content-addressed result cache exact, so repeated queries
+// are O(1). See internal/serve for the endpoint catalog.
+type (
+	// Service is the sweep-as-a-service HTTP handler (cache, admission
+	// queue, metrics included); it implements http.Handler.
+	Service = serve.Server
+	// ServiceOptions configures a Service (cache bound, compute slots,
+	// queue depth, base seed).
+	ServiceOptions = serve.Options
+	// ServiceCell is the JSON wire shape of one served grid cell.
+	ServiceCell = serve.Cell
+	// ServiceSweepSummary is the trailing summary line of a /sweep
+	// NDJSON stream.
+	ServiceSweepSummary = serve.SweepSummary
+	// CellKey is the canonical content address of one grid cell — the
+	// tuple that fully determines its measurement.
+	CellKey = core.CellKey
+	// CellOptions carries the per-cell measurement knobs ResolveCell
+	// canonicalizes into a key.
+	CellOptions = core.CellOptions
+)
+
+// Service and cell-level entry points.
+var (
+	// NewService builds the sweep-as-a-service HTTP server.
+	NewService = serve.New
+	// ResolveCell canonicalizes one (scenario, arch, defense) request
+	// into its CellKey through the sweep's own axis parsers.
+	ResolveCell = core.ResolveCell
+	// DecodeCellKey parses a key string produced by CellKey.Encode.
+	DecodeCellKey = core.DecodeCellKey
+	// EnumerateCells resolves an axis selection into canonical keys in
+	// sweep enumeration order.
+	EnumerateCells = core.EnumerateCells
+	// RunCell computes the one grid cell a canonical key addresses,
+	// bit-identical to the matching cell of a full sweep.
+	RunCell = core.RunCell
+	// RunExperiment executes a single engine experiment outside any
+	// worker pool (same seeding and panic confinement as a pooled run).
+	RunExperiment = engine.RunOne
 )
