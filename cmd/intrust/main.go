@@ -10,7 +10,8 @@
 //	intrust serve [-addr :8089] [-cache N] [-maxinflight N] [-queue N] [-seed N] [-drain 30s]
 //	intrust attacks [-family f] [-markdown] [-o file]
 //	intrust defenses [-family f] [-markdown] [-o file]
-//	intrust bench [-o BENCH_sweep.json] [-baseline file] [-maxregress 0.25] [-parallel N]
+//	intrust bench [-o BENCH_sweep.json] [-baseline file] [-maxregress 0.25] [-parallel N] [-gomaxprocs N]
+//	intrust attest <measure|quote|verify|tcb|policy> [-arch a] [-config none|stock] [-tcb N] [-nonce hex] [-quote b64url] [-seed N] [-revoke-arch a,b] [-revoke-attack x,y] [-revoke-samples N]
 //
 // The sweep's -attack flag accepts individual scenario names
 // ("flush+reload", "clkscrew") as well as family names ("cachesca"),
@@ -38,10 +39,20 @@
 // metrics at /metrics, and graceful drain on SIGINT/SIGTERM.
 //
 // The bench mode runs the canonical sweep configurations (the none+stock
-// grid, fixed and adaptive) through internal/perf and writes the
-// BENCH_sweep.json throughput artifact; with -baseline it also fails when
-// cells/sec regresses past -maxregress against the checked-in report —
-// the CI gate that tracks substrate performance across PRs. The sweep's
+// grid, fixed and adaptive) through internal/perf and folds the result
+// into the multi-environment BENCH_sweep.json throughput artifact (one
+// entry per Go release × GOMAXPROCS × pool size); with -baseline it also
+// fails when cells/sec regresses past -maxregress against the baseline
+// entry matching this environment — the CI gate that tracks substrate
+// performance across PRs.
+//
+// The attest mode drives the remote attestation lifecycle
+// (internal/attestsvc) from the command line: measure prints canonical
+// enclave measurements, quote mints signed quotes, verify checks them
+// against the acceptance policy (exit 0 accepted, 1 rejected), and
+// tcb/policy dump the revocation state — optionally derived live from a
+// sweep slice via -revoke-arch/-revoke-attack, the same feedback loop
+// the serve tier's /attest endpoints run. The sweep's
 // -cpuprofile/-memprofile flags write pprof profiles for hunting the next
 // hot spot (see docs/PERFORMANCE.md).
 package main
@@ -89,6 +100,9 @@ func main() {
 	}
 	if what == "bench" {
 		os.Exit(runBench(flag.Args()[1:]))
+	}
+	if what == "attest" {
+		os.Exit(runAttest(flag.Args()[1:]))
 	}
 	samples := 400
 	secretLen := 16
@@ -167,7 +181,7 @@ func main() {
 		})
 	}
 	if !any {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want sweep|serve|attacks|defenses|bench|fig1|arch|cachesca|transient|physical|all)\n", what)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want sweep|serve|attacks|defenses|bench|attest|fig1|arch|cachesca|transient|physical|all)\n", what)
 		os.Exit(2)
 	}
 }
@@ -437,17 +451,22 @@ func runDefenses(args []string) int {
 }
 
 // runBench measures the canonical sweep configurations through
-// internal/perf, writes the BENCH_sweep.json artifact, and (with
-// -baseline) gates cells/sec against the checked-in report — the CI
-// bench job's substance.
+// internal/perf, folds the report into the multi-environment
+// BENCH_sweep.json artifact, and (with -baseline) gates cells/sec
+// against the baseline entry matching this environment — the CI bench
+// job's substance.
 func runBench(args []string) int {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	outPath := fs.String("o", "BENCH_sweep.json", "write the throughput report to this file")
-	baseline := fs.String("baseline", "", "compare cells/sec against this checked-in report and fail on regression")
+	outPath := fs.String("o", "BENCH_sweep.json", "fold the throughput report into this file (other environments' entries are kept)")
+	baseline := fs.String("baseline", "", "compare cells/sec against this environment's entry in the checked-in report and fail on regression")
 	maxRegress := fs.Float64("maxregress", 0.25, "maximum tolerated cells/sec regression vs the baseline (fraction)")
 	parallel := fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
+	maxProcs := fs.Int("gomaxprocs", 0, "set GOMAXPROCS before measuring (0 = leave as-is); selects which baseline environment the run records and gates against")
 	fs.Parse(args)
 
+	if *maxProcs > 0 {
+		runtime.GOMAXPROCS(*maxProcs)
+	}
 	rep, err := perf.Run(*parallel, perf.CanonicalConfigs())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
@@ -456,38 +475,50 @@ func runBench(args []string) int {
 	for i := range rep.Configs {
 		fmt.Println(rep.Configs[i].String())
 	}
-	fmt.Printf("allocs/access: %g (%s, %d workers)\n", rep.AllocsPerAccess, rep.GoVersion, rep.Parallel)
+	fmt.Printf("allocs/access: %g (%s)\n", rep.AllocsPerAccess, rep.EnvironmentString())
+
+	// Fold this environment's numbers into the artifact without
+	// disturbing entries measured elsewhere.
+	art := &perf.File{}
+	if prior, err := perf.ReadBaseline(*outPath); err == nil {
+		art = prior
+	} else if !os.IsNotExist(err) {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	art.Upsert(rep)
 	f, err := os.Create(*outPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		return 1
 	}
 	defer f.Close()
-	if err := rep.WriteJSON(f); err != nil {
+	if err := art.WriteJSON(f); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		return 1
 	}
-	fmt.Printf("[throughput report written to %s]\n", *outPath)
+	fmt.Printf("[throughput report written to %s (%d environments)]\n", *outPath, len(art.Environments))
 	if *baseline != "" {
-		base, err := perf.ReadFile(*baseline)
+		baseFile, err := perf.ReadBaseline(*baseline)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			return 1
 		}
-		if !perf.SameEnvironment(base, rep) {
+		base := baseFile.Match(rep)
+		if base == nil {
 			// Cells/sec is hardware-relative: a baseline from a different
 			// environment can neither prove nor disprove a regression, so
 			// the gate degrades to a notice and the fresh report (kept as
 			// a build artifact) carries the trajectory instead.
-			fmt.Printf("[baseline %s was measured in a different environment (%s, gomaxprocs %d, %d workers); cells/sec gate skipped — refresh the baseline from this environment to re-arm it]\n",
-				*baseline, base.GoVersion, base.GOMAXPROCS, base.Parallel)
+			fmt.Printf("[baseline %s has no entry for this environment (%s); cells/sec gate skipped — run bench from this environment with -o %s to record one]\n",
+				*baseline, rep.EnvironmentString(), *baseline)
 			return 0
 		}
 		if err := perf.Compare(base, rep, *maxRegress); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			return 1
 		}
-		fmt.Printf("[no regression past %.0f%% vs %s]\n", *maxRegress*100, *baseline)
+		fmt.Printf("[no regression past %.0f%% vs %s (%s)]\n", *maxRegress*100, *baseline, rep.EnvironmentString())
 	}
 	return 0
 }

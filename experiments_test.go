@@ -98,8 +98,8 @@ func TestFacadeScenarioAPI(t *testing.T) {
 	if len(all) < 15 {
 		t.Fatalf("catalog lists %d scenarios, want >= 15", len(all))
 	}
-	if got := len(ScenarioFamilies()); got != 3 {
-		t.Errorf("scenario families = %d, want 3", got)
+	if got := len(ScenarioFamilies()); got != 4 {
+		t.Errorf("scenario families = %d, want 4 (cachesca, transient, physical, attestation)", got)
 	}
 	s, ok := LookupScenario("spectre-v1")
 	if !ok {

@@ -41,6 +41,20 @@ func (m Measurement) Extend(data []byte) Measurement {
 // String renders the first 8 bytes, enough for logs.
 func (m Measurement) String() string { return fmt.Sprintf("%x", m[:8]) }
 
+// Hex renders the full digest.
+func (m Measurement) Hex() string { return fmt.Sprintf("%x", m[:]) }
+
+// MeasureChain folds an ordered sequence of blobs into one measurement
+// the way enclave loaders build MRENCLAVE: start from the zero register
+// and Extend once per blob. The empty chain is the zero measurement.
+func MeasureChain(blobs ...[]byte) Measurement {
+	var m Measurement
+	for _, b := range blobs {
+		m = m.Extend(b)
+	}
+	return m
+}
+
 // Report is a local attestation report: a MAC over the measurement, the
 // challenger's nonce, and optional application data, keyed with a secret
 // only the trusted hardware/ROM can access.

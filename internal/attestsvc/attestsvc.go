@@ -1,0 +1,219 @@
+// Package attestsvc simulates the full remote-attestation lifecycle the
+// paper's TEE survey implies but never exercises end to end: enclave
+// measurement (deterministic MRENCLAVE-style digests over simulated
+// enclave images), per-architecture signed quote generation, verification
+// against an explicit policy (accepted measurements, minimum TCB version,
+// nonce freshness), and TCB revocation driven by the sweep grid itself —
+// any architecture with a broken `none`-defense cell is TCB-compromised,
+// and verifiers reject its quotes until they claim the stock defense
+// configuration.
+//
+// Everything here is deterministic by construction: image bytes are a
+// SHA-256 stream keyed by (arch, defense config, TCB version), signing
+// keys are Ed25519 keys derived from an authority root secret (RFC 8032
+// signatures are deterministic, unlike ECDSA), and the quote wire format
+// is strictly canonical. The same inputs therefore produce byte-identical
+// quotes and verdicts in the CLI, the scenario grid, and the serve tier.
+package attestsvc
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"github.com/intrust-sim/intrust/internal/attest"
+	"github.com/intrust-sim/intrust/internal/platform"
+)
+
+// TCB versions. The simulation models exactly two trusted-computing-base
+// levels per architecture: the undefended baseline and the architecture's
+// stock defense configuration. Sweep-driven revocation raises an arch's
+// minimum accepted version from baseline to stock.
+const (
+	// TCBBaseline is the undefended ("none" defense) configuration.
+	TCBBaseline uint32 = 1
+	// TCBStock is the architecture's stock defense configuration.
+	TCBStock uint32 = 2
+)
+
+// Defense-configuration labels an enclave image (and hence a quote) can
+// claim. They mirror the sweep's defense axis spellings.
+const (
+	ConfigNone  = "none"
+	ConfigStock = "stock"
+)
+
+// TCBForConfig maps a claimed defense configuration to the TCB version it
+// corresponds to. Unknown configurations get the baseline version.
+func TCBForConfig(cfg string) uint32 {
+	if cfg == ConfigStock {
+		return TCBStock
+	}
+	return TCBBaseline
+}
+
+// imagePages is the number of simulated pages per enclave image and
+// imagePageSize their size; small enough to measure thousands of images
+// per second, large enough that single-byte tampering is realistic.
+const (
+	imagePages    = 4
+	imagePageSize = 256
+)
+
+// Image is a simulated enclave image: a few pages of deterministic
+// content unique to (architecture, defense configuration, TCB version).
+// The content stands in for code+initial data; its measurement is the
+// MRENCLAVE-style identity everything downstream binds to.
+type Image struct {
+	Arch       string
+	Config     string
+	TCBVersion uint32
+	Pages      [][]byte
+}
+
+// BuildImage deterministically constructs the canonical enclave image for
+// an (arch, config, tcb) triple. Every holder of the same triple builds
+// byte-identical pages, so measurement policy can be computed anywhere.
+func BuildImage(arch, config string, tcb uint32) (*Image, error) {
+	if _, ok := platform.ArchClass(arch); !ok {
+		return nil, fmt.Errorf("attestsvc: unknown architecture %q", arch)
+	}
+	im := &Image{Arch: arch, Config: config, TCBVersion: tcb, Pages: make([][]byte, imagePages)}
+	for p := range im.Pages {
+		im.Pages[p] = imagePage(arch, config, tcb, p)
+	}
+	return im, nil
+}
+
+// imagePage derives one page of image content as a SHA-256 output stream
+// keyed by the image identity and page index.
+func imagePage(arch, config string, tcb uint32, page int) []byte {
+	out := make([]byte, 0, imagePageSize)
+	var ctr uint32
+	for len(out) < imagePageSize {
+		h := sha256.New()
+		fmt.Fprintf(h, "intrust/attestsvc/image/v1|%s|%s|%d|%d|%d", arch, config, tcb, page, ctr)
+		out = append(out, h.Sum(nil)...)
+		ctr++
+	}
+	return out[:imagePageSize]
+}
+
+// header returns the measured image header: the identity fields that are
+// part of the enclave's signed metadata (SIGSTRUCT-style), so two images
+// with identical pages but different claimed TCB levels measure apart.
+func (im *Image) header() []byte {
+	h := make([]byte, 0, 64)
+	h = append(h, "intrust/attestsvc/header/v1|"...)
+	h = append(h, im.Arch...)
+	h = append(h, '|')
+	h = append(h, im.Config...)
+	h = append(h, '|')
+	h = binary.LittleEndian.AppendUint32(h, im.TCBVersion)
+	return h
+}
+
+// Measurement computes the image's identity: a measurement chain over the
+// header followed by each page in load order, exactly how enclave loaders
+// build MRENCLAVE (and why load order matters).
+func (im *Image) Measurement() attest.Measurement {
+	blobs := make([][]byte, 0, 1+len(im.Pages))
+	blobs = append(blobs, im.header())
+	blobs = append(blobs, im.Pages...)
+	return attest.MeasureChain(blobs...)
+}
+
+// CanonicalMeasurement returns the measurement of the canonical image for
+// (arch, config, tcb) without exposing the image itself.
+func CanonicalMeasurement(arch, config string, tcb uint32) (attest.Measurement, error) {
+	im, err := BuildImage(arch, config, tcb)
+	if err != nil {
+		return attest.Measurement{}, err
+	}
+	return im.Measurement(), nil
+}
+
+// Authority is the per-deployment quoting authority: it derives one
+// Ed25519 signing key per architecture from a root secret. Ed25519 (not
+// ECDSA) because RFC 8032 signatures are deterministic — the same quote
+// body signs to the same bytes, which the byte-identical-replay guarantee
+// of the whole grid depends on.
+type Authority struct {
+	root []byte
+}
+
+// NewAuthority creates an authority rooted in the given secret. The root
+// may be any length; it is folded through SHA-256 per architecture.
+func NewAuthority(root []byte) *Authority {
+	cp := make([]byte, len(root))
+	copy(cp, root)
+	return &Authority{root: cp}
+}
+
+// RootFromSeed derives a 32-byte authority root from a numeric seed, so
+// CLI and serve deployments keyed by the engine's base seed agree on keys.
+func RootFromSeed(seed int64) []byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "intrust/attestsvc/root/v1|%d", seed)
+	return h.Sum(nil)
+}
+
+// signingKey derives the architecture's Ed25519 private key.
+func (a *Authority) signingKey(arch string) ed25519.PrivateKey {
+	h := sha256.New()
+	h.Write([]byte("intrust/attestsvc/key/v1|"))
+	h.Write(a.root)
+	h.Write([]byte("|"))
+	h.Write([]byte(arch))
+	return ed25519.NewKeyFromSeed(h.Sum(nil))
+}
+
+// PublicKey returns the architecture's quote-verification key.
+func (a *Authority) PublicKey(arch string) ed25519.PublicKey {
+	return a.signingKey(arch).Public().(ed25519.PublicKey)
+}
+
+// QuoteImage measures an image and signs a quote binding the measurement,
+// the image's claimed TCB level and defense configuration, the
+// challenger's nonce, and caller report data under the arch's key.
+func (a *Authority) QuoteImage(im *Image, nonce, reportData []byte) (*Quote, error) {
+	return a.QuoteMeasurement(im.Arch, im.Measurement(), im.Config, im.TCBVersion, nonce, reportData)
+}
+
+// QuoteMeasurement signs a quote over an externally supplied measurement.
+// This is the TOCTOU seam the measure-toctou scenario exercises: a quoting
+// implementation that signs a *ledger* measurement instead of re-measuring
+// the live image attests to stale state.
+func (a *Authority) QuoteMeasurement(arch string, m attest.Measurement, config string, tcb uint32, nonce, reportData []byte) (*Quote, error) {
+	if _, ok := platform.ArchClass(arch); !ok {
+		return nil, fmt.Errorf("attestsvc: unknown architecture %q", arch)
+	}
+	q := &Quote{
+		Arch:        arch,
+		Measurement: m,
+		TCBVersion:  tcb,
+		Config:      config,
+		Nonce:       append([]byte(nil), nonce...),
+		ReportData:  append([]byte(nil), reportData...),
+	}
+	body, err := q.encode(false)
+	if err != nil {
+		return nil, err
+	}
+	q.Signature = ed25519.Sign(a.signingKey(arch), body)
+	return q, nil
+}
+
+// VerifySignature checks a quote's Ed25519 signature against the
+// authority's per-arch public key.
+func (a *Authority) VerifySignature(q *Quote) bool {
+	body, err := q.encode(false)
+	if err != nil {
+		return false
+	}
+	if len(q.Signature) != ed25519.SignatureSize {
+		return false
+	}
+	return ed25519.Verify(a.PublicKey(q.Arch), body, q.Signature)
+}

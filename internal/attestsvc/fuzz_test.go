@@ -1,0 +1,53 @@
+package attestsvc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzQuoteDecode drives the quote parser and the full verification
+// pipeline with arbitrary bytes. Invariants: never panic; anything that
+// decodes re-encodes byte-identically (strict canonicality); and only the
+// authority's own canonical quote verifies — every mutation of it must be
+// rejected somewhere in the pipeline.
+func FuzzQuoteDecode(f *testing.F) {
+	svc := NewService(RootFromSeed(42))
+	nonce := []byte("fuzz-nonce")
+	good, err := svc.Quote("sgx", ConfigStock, TCBStock, nonce, []byte("rd"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	goodWire, err := good.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(goodWire)
+	f.Add([]byte(quoteMagic))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 200))
+	trunc := append([]byte(nil), goodWire[:len(goodWire)/2]...)
+	f.Add(trunc)
+	f.Add(append(append([]byte(nil), goodWire...), 0)) // trailing byte
+
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		q, err := DecodeQuote(wire)
+		if err != nil {
+			if q != nil {
+				t.Fatal("decode returned both quote and error")
+			}
+			return
+		}
+		reenc, err := q.Encode()
+		if err != nil || !bytes.Equal(reenc, wire) {
+			t.Fatalf("decoded quote is not canonical: err=%v", err)
+		}
+		vd := svc.Verify(wire, q.Nonce)
+		if vd.OK && !bytes.Equal(wire, goodWire) {
+			// Accepting means a valid signature over an allow-listed
+			// measurement at an acceptable TCB. The only fuzz input that
+			// can satisfy all of that without the signing key is the seed
+			// quote itself.
+			t.Fatalf("non-canonical quote verified: %+v", vd)
+		}
+	})
+}

@@ -1,0 +1,200 @@
+package attestsvc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/intrust-sim/intrust/internal/attest"
+	"github.com/intrust-sim/intrust/internal/platform"
+)
+
+// Verdict codes. Every rejection path is typed so scenarios and callers
+// can assert *why* a quote failed, not just that it did.
+const (
+	VerdictAccepted           = "accepted"
+	VerdictBadEncoding        = "bad-encoding"
+	VerdictUnknownArch        = "unknown-arch"
+	VerdictBadSignature       = "bad-signature"
+	VerdictUnknownMeasurement = "unknown-measurement"
+	VerdictTCBRevoked         = "tcb-revoked"
+	VerdictNonceMismatch      = "nonce-mismatch"
+	VerdictNonceReplayed      = "nonce-replayed"
+)
+
+// Verdict is the result of verifying one quote.
+type Verdict struct {
+	OK          bool   `json:"ok"`
+	Code        string `json:"code"`
+	Reason      string `json:"reason,omitempty"`
+	Arch        string `json:"arch,omitempty"`
+	TCBVersion  uint32 `json:"tcb_version,omitempty"`
+	MinTCB      uint32 `json:"min_tcb,omitempty"`
+	Config      string `json:"config,omitempty"`
+	Measurement string `json:"measurement,omitempty"`
+}
+
+func reject(code, reason string) Verdict { return Verdict{Code: code, Reason: reason} }
+
+// Policy is the verifier's explicit acceptance policy: the measurement
+// allow-list, the per-architecture minimum TCB version (raised by
+// sweep-driven revocation), and whether nonce freshness is enforced.
+type Policy struct {
+	// Accepted maps known-good measurements to a human-readable identity
+	// label ("arch/config@tcb").
+	Accepted map[attest.Measurement]string
+	// MinTCB maps an architecture to the minimum TCB version a quote must
+	// claim. Missing entries default to TCBBaseline.
+	MinTCB map[string]uint32
+	// EnforceTCB gates the MinTCB check; a verifier that never refreshes
+	// its TCB info (the stale-tcb scenario's victim) leaves it off.
+	EnforceTCB bool
+	// Freshness gates nonce single-use tracking; a verifier without it
+	// (the quote-replay scenario's victim) accepts replayed quotes.
+	Freshness bool
+}
+
+// CanonicalPolicy builds the deployment-wide allow-list: for every
+// surveyed architecture, the canonical baseline ("none" @ TCB 1) and
+// stock ("stock" @ TCB 2) images. MinTCB is taken from rev (nil means
+// nothing revoked).
+func CanonicalPolicy(rev *Revocations) Policy {
+	p := Policy{
+		Accepted:   make(map[attest.Measurement]string, 2*len(platform.Architectures)),
+		MinTCB:     map[string]uint32{},
+		EnforceTCB: true,
+		Freshness:  false,
+	}
+	for _, arch := range platform.Architectures {
+		for _, ic := range []struct {
+			cfg string
+			tcb uint32
+		}{{ConfigNone, TCBBaseline}, {ConfigStock, TCBStock}} {
+			m, err := CanonicalMeasurement(arch, ic.cfg, ic.tcb)
+			if err != nil {
+				continue
+			}
+			p.Accepted[m] = fmt.Sprintf("%s/%s@%d", arch, ic.cfg, ic.tcb)
+		}
+		if rev != nil {
+			p.MinTCB[arch] = rev.MinTCB(arch)
+		}
+	}
+	return p
+}
+
+// AcceptedList renders the allow-list deterministically (sorted by
+// identity label) for policy dumps.
+func (p Policy) AcceptedList() []PolicyEntry {
+	out := make([]PolicyEntry, 0, len(p.Accepted))
+	for m, id := range p.Accepted {
+		out = append(out, PolicyEntry{Identity: id, Measurement: m.Hex()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Identity < out[j].Identity })
+	return out
+}
+
+// PolicyEntry is one allow-list row in a policy dump.
+type PolicyEntry struct {
+	Identity    string `json:"identity"`
+	Measurement string `json:"measurement"`
+}
+
+// Verifier checks wire quotes against an authority and a policy. The
+// used-nonce set (when Freshness is on) is the only mutable state and is
+// guarded for concurrent verifies.
+type Verifier struct {
+	auth   *Authority
+	policy Policy
+
+	mu   sync.Mutex
+	used map[string]bool
+}
+
+// NewVerifier builds a verifier over the authority's public keys.
+func NewVerifier(auth *Authority, p Policy) *Verifier {
+	return &Verifier{auth: auth, policy: p, used: map[string]bool{}}
+}
+
+// Policy returns the verifier's current policy.
+func (v *Verifier) Policy() Policy { return v.policy }
+
+// SetPolicy swaps the policy (e.g. after a TCB refresh). The used-nonce
+// set is preserved: freshness history outlives policy updates.
+func (v *Verifier) SetPolicy(p Policy) {
+	v.mu.Lock()
+	v.policy = p
+	v.mu.Unlock()
+}
+
+// Verify runs the full verification pipeline over a wire quote:
+// decode (strictly canonical) → architecture known → signature valid →
+// measurement in allow-list → TCB version ≥ per-arch minimum (when
+// enforced) → nonce matches the challenge (when one is supplied) and is
+// fresh (when freshness is enforced).
+func (v *Verifier) Verify(wire, challengeNonce []byte) Verdict {
+	q, err := DecodeQuote(wire)
+	if err != nil {
+		return reject(VerdictBadEncoding, err.Error())
+	}
+	return v.VerifyQuote(q, challengeNonce)
+}
+
+// VerifyQuote is Verify over an already-decoded quote.
+func (v *Verifier) VerifyQuote(q *Quote, challengeNonce []byte) Verdict {
+	v.mu.Lock()
+	policy := v.policy
+	v.mu.Unlock()
+
+	if _, ok := platform.ArchClass(q.Arch); !ok {
+		return reject(VerdictUnknownArch, fmt.Sprintf("architecture %q not surveyed", q.Arch))
+	}
+	vd := Verdict{
+		Arch:        q.Arch,
+		TCBVersion:  q.TCBVersion,
+		Config:      q.Config,
+		Measurement: q.Measurement.Hex(),
+	}
+	if !v.auth.VerifySignature(q) {
+		vd.Code, vd.Reason = VerdictBadSignature, "ed25519 signature does not verify under the arch quoting key"
+		return vd
+	}
+	id, ok := policy.Accepted[q.Measurement]
+	if !ok {
+		vd.Code, vd.Reason = VerdictUnknownMeasurement, "measurement not in the accepted allow-list"
+		return vd
+	}
+	if policy.EnforceTCB {
+		min := policy.MinTCB[q.Arch]
+		if min == 0 {
+			min = TCBBaseline
+		}
+		vd.MinTCB = min
+		if q.TCBVersion < min {
+			vd.Code = VerdictTCBRevoked
+			vd.Reason = fmt.Sprintf("quote claims TCB %d but %s requires ≥ %d (revoked until the stock defense is applied)", q.TCBVersion, q.Arch, min)
+			return vd
+		}
+	}
+	if challengeNonce != nil && string(q.Nonce) != string(challengeNonce) {
+		vd.Code, vd.Reason = VerdictNonceMismatch, "quote nonce does not match the challenge"
+		return vd
+	}
+	if policy.Freshness {
+		key := q.Arch + "|" + string(q.Nonce)
+		v.mu.Lock()
+		replayed := v.used[key]
+		if !replayed {
+			v.used[key] = true
+		}
+		v.mu.Unlock()
+		if replayed {
+			vd.Code, vd.Reason = VerdictNonceReplayed, "nonce already accepted once"
+			return vd
+		}
+	}
+	vd.OK = true
+	vd.Code = VerdictAccepted
+	vd.Reason = "measurement " + id + " accepted"
+	return vd
+}

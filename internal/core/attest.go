@@ -1,0 +1,72 @@
+package core
+
+import (
+	"context"
+
+	"github.com/intrust-sim/intrust/internal/attestsvc"
+	"github.com/intrust-sim/intrust/internal/engine"
+	"github.com/intrust-sim/intrust/internal/scenario"
+)
+
+// This file is the seam between the sweep grid and the attestation
+// lifecycle: revocation is *driven by the sweep*, so the attestation
+// service consumes grid cells — computed here, by the serve tier's
+// cached cell path, or read from a fixture — as evidence. Only the
+// `none`-defense layer matters: a broken undefended cell means the
+// architecture's baseline TCB is compromised and its quotes must claim
+// the stock defense configuration to verify.
+
+// RevocationCellKeys enumerates the none-defense grid slice revocation
+// is derived from: every requested scenario × architecture cell with the
+// defense axis pinned to "none". The returned keys are canonical, so the
+// serve tier computes them through the same content-addressed cache as
+// any other cell request.
+func RevocationCellKeys(archs, attacks []string, opt CellOptions) ([]CellKey, error) {
+	return EnumerateCells(archs, attacks, []string{"none"}, opt)
+}
+
+// AttestCell projects one computed grid cell onto the attestation
+// service's evidence type. Errored cells classify as "" and therefore
+// never revoke — an experiment failure is not evidence of a broken TCB.
+func AttestCell(k CellKey, r engine.Result) attestsvc.Cell {
+	class := ""
+	if r.Err == "" {
+		class = scenario.VerdictClass(r.Verdict)
+	}
+	return attestsvc.Cell{
+		Scenario: k.Scenario,
+		Arch:     k.Arch,
+		Defense:  k.Defense,
+		Class:    class,
+	}
+}
+
+// ComputeRevocations runs the none-defense revocation grid through the
+// engine worker pool and folds the verdicts into revocation state — the
+// CLI's one-call path (the serve tier assembles the same state from its
+// cell cache instead). Deterministic for a given (axes, options) request
+// under any parallelism, like every sweep.
+func ComputeRevocations(ctx context.Context, archs, attacks []string, opt CellOptions, parallel int) (*attestsvc.Revocations, error) {
+	keys, err := RevocationCellKeys(archs, attacks, opt)
+	if err != nil {
+		return nil, err
+	}
+	exps := make([]engine.Experiment, len(keys))
+	for i, k := range keys {
+		exp, err := k.Experiment()
+		if err != nil {
+			return nil, err
+		}
+		exps[i] = exp
+	}
+	eng := engine.New(parallel)
+	results, err := eng.Run(ctx, exps)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]attestsvc.Cell, len(results))
+	for i := range results {
+		cells[i] = AttestCell(keys[i], results[i])
+	}
+	return attestsvc.Revoke(cells), nil
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"github.com/intrust-sim/intrust/internal/attestsvc"
+)
+
+// TestComputeRevocations pins the sweep→revocation coupling end to end:
+// a one-cell grid that is broken on its arch revokes that arch's
+// baseline TCB and nothing else, a mitigated one-cell grid revokes
+// nothing, and the derived state is identical under different engine
+// parallelism (the same determinism contract as the sweep itself).
+func TestComputeRevocations(t *testing.T) {
+	opt := CellOptions{Samples: 64}
+
+	// flush+reload on undefended SGX is a broken cell (golden grid).
+	rev, err := ComputeRevocations(context.Background(), []string{"sgx"}, []string{"flush+reload"}, opt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rev.Revoked("sgx") {
+		t.Fatal("broken none-cell must revoke the arch")
+	}
+	if rev.MinTCB("sgx") != attestsvc.TCBStock {
+		t.Fatalf("MinTCB(sgx) = %d", rev.MinTCB("sgx"))
+	}
+	for _, arch := range []string{"sanctum", "tytan"} {
+		if rev.Revoked(arch) {
+			t.Fatalf("%s revoked without evidence", arch)
+		}
+	}
+
+	// Parallelism must not change the derived state.
+	rev8, err := ComputeRevocations(context.Background(), []string{"sgx"}, []string{"flush+reload"}, opt, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.Fingerprint() != rev8.Fingerprint() {
+		t.Fatalf("revocation state depends on parallelism: %s vs %s", rev.Fingerprint(), rev8.Fingerprint())
+	}
+
+	// The negative case: prime+probe has no substrate on the embedded
+	// tytan, so its none-cell classifies n/a and cannot revoke.
+	revNA, err := ComputeRevocations(context.Background(), []string{"tytan"}, []string{"prime+probe"}, opt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if revNA.Revoked("tytan") {
+		t.Fatal("n/a cell must not revoke")
+	}
+}

@@ -170,5 +170,31 @@ func catalog() []Defense {
 				c.ClockJitter = true
 			},
 		},
+		// --- §3 attestation-lifecycle defenses ------------------------
+		// These are verifier/protocol-side policies rather than
+		// microarchitectural knobs, so they apply to every surveyed
+		// architecture (all eight implement remote attestation) and none
+		// ships them stock: the baseline protocol flow is the victim.
+		&Spec{
+			ID: "quote-freshness", In: FamilyAttestation, Section: "3",
+			Summary: "single-use challenge nonces: the verifier records every accepted nonce and rejects " +
+				"re-presentation, so a captured quote cannot be replayed into a later session",
+			BlocksList: []string{"quote-replay"},
+			Apply:      func(c *Config) { c.QuoteFreshness = true },
+		},
+		&Spec{
+			ID: "measurement-lock", In: FamilyAttestation, Section: "3",
+			Summary: "measure-at-quote: the quoting path re-measures the live enclave image instead of " +
+				"signing the load-time ledger entry, closing the measure→use TOCTOU window",
+			BlocksList: []string{"measure-toctou"},
+			Apply:      func(c *Config) { c.MeasurementLock = true },
+		},
+		&Spec{
+			ID: "tcb-refresh", In: FamilyAttestation, Section: "3",
+			Summary: "verifiers pull the sweep-driven revocation state before accepting: a broken undefended " +
+				"cell raises the arch's minimum TCB, so stale-TCB quotes are rejected until quotes claim the stock defense",
+			BlocksList: []string{"stale-tcb"},
+			Apply:      func(c *Config) { c.TCBRefresh = true },
+		},
 	}
 }

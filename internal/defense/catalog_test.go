@@ -18,6 +18,8 @@ var catalogNames = []string{
 	"btb-flush", "spec-barrier",
 	// against physical (§5)
 	"clock-jitter", "crt-check", "masked-aes",
+	// against attestation (§3)
+	"measurement-lock", "quote-freshness", "tcb-refresh",
 }
 
 func TestCatalogNamesStable(t *testing.T) {

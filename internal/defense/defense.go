@@ -40,11 +40,17 @@ const (
 	// FamilyPhysical marks defenses against the §5 classical physical
 	// attacks.
 	FamilyPhysical = "physical"
+	// FamilyAttestation marks defenses against attacks on the §3 remote
+	// attestation protocol flow (quote replay, measure/use TOCTOU,
+	// stale-TCB acceptance).
+	FamilyAttestation = "attestation"
 )
 
 // FamilyOrder ranks the countered families in the paper's section order
-// (§4.1, §4.2, §5) — the deterministic ordering used by Registry.All.
-var FamilyOrder = []string{FamilyCacheSCA, FamilyTransient, FamilyPhysical}
+// (§4.1, §4.2, §5, then the §3 attestation lifecycle, which the survey
+// introduces first but this codebase grew last). The deterministic
+// ordering used by Registry.All.
+var FamilyOrder = []string{FamilyCacheSCA, FamilyTransient, FamilyPhysical, FamilyAttestation}
 
 // Config is the wiring a Defense transforms: everything the scenario
 // environment consults when it assembles a platform and constructs
@@ -99,6 +105,18 @@ type Config struct {
 	// miss the targeted round (§5 fault countermeasure; also raises DPA
 	// alignment cost).
 	ClockJitter bool
+	// QuoteFreshness makes attestation verifiers track challenge nonces
+	// and accept each exactly once (§3 protocol hygiene): a captured
+	// quote replayed into a later session no longer verifies.
+	QuoteFreshness bool
+	// MeasurementLock makes the quoting path re-measure the live enclave
+	// image instead of signing the ledger entry recorded at load time,
+	// closing the measure→quote TOCTOU window.
+	MeasurementLock bool
+	// TCBRefresh makes verifiers pull the sweep-driven revocation state
+	// and enforce the per-architecture minimum TCB version, rejecting
+	// stale-TCB quotes.
+	TCBRefresh bool
 }
 
 // NewConfig returns the undefended wiring for one architecture with the

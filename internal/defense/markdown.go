@@ -16,6 +16,8 @@ func familyHeading(family string) string {
 		return "Against transient execution (paper §4.2)"
 	case FamilyPhysical:
 		return "Against classical physical attacks (paper §5)"
+	case FamilyAttestation:
+		return "Against attestation-lifecycle attacks (paper §3)"
 	}
 	return "Against family `" + family + "`"
 }

@@ -17,6 +17,8 @@ var catalogNames = []string{
 	"foreshadow", "meltdown", "ret2spec", "spectre-btb", "spectre-v1",
 	// physical (§5)
 	"bellcore", "clkscrew", "cpa", "dfa-piret-quisquater", "dpa", "kocher-timing",
+	// attestation (§3)
+	"measure-toctou", "quote-replay", "stale-tcb",
 }
 
 func TestCatalogNamesStable(t *testing.T) {

@@ -60,6 +60,11 @@ func TestDefenseFlipsMatchPaper(t *testing.T) {
 		{"cpa", "sancus", "masked-aes", 256},
 		{"bellcore", "sgx", "crt-check", 8},
 		{"clkscrew", "trustzone", "clock-jitter", 8},
+		{"quote-replay", "sgx", "quote-freshness", 8},
+		{"quote-replay", "tytan", "quote-freshness", 8},
+		{"measure-toctou", "sanctum", "measurement-lock", 8},
+		{"stale-tcb", "trustzone", "tcb-refresh", 8},
+		{"stale-tcb", "sancus", "tcb-refresh", 8},
 	}
 	// Layered mitigations compose: adding masked-aes on top of ct-aes
 	// must not revert the cache victim to the leaky T-table AES (the two
@@ -97,6 +102,9 @@ func TestDefenseDoesNotOverreach(t *testing.T) {
 		{"spectre-btb", "sgx", "spec-barrier", 8},
 		{"dfa-piret-quisquater", "sancus", "masked-aes", 8},
 		{"flush+reload", "sgx", "cache-coloring", 64},
+		{"quote-replay", "sgx", "tcb-refresh", 8},
+		{"stale-tcb", "sgx", "quote-freshness", 8},
+		{"measure-toctou", "sgx", "quote-freshness", 8},
 	}
 	for _, tc := range cases {
 		out := mountWith(t, tc.scenario, tc.arch, tc.samples, tc.defense)

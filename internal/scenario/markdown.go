@@ -14,6 +14,8 @@ func familyHeading(family string) string {
 		return "Transient execution (paper §4.2) — family `transient`"
 	case FamilyPhysical:
 		return "Classical physical attacks (paper §5) — family `physical`"
+	case FamilyAttestation:
+		return "Attestation-lifecycle attacks (paper §3) — family `attestation`"
 	}
 	return "Family `" + family + "`"
 }

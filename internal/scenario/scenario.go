@@ -35,11 +35,17 @@ const (
 	FamilyTransient = "transient"
 	// FamilyPhysical is the Section 5 classical physical attacks.
 	FamilyPhysical = "physical"
+	// FamilyAttestation is the attacks on the §3 remote-attestation
+	// protocol flow (quote replay, measure/use TOCTOU, stale-TCB
+	// acceptance).
+	FamilyAttestation = "attestation"
 )
 
 // FamilyOrder lists the scenario families in the paper's section order
-// (§4.1, §4.2, §5) — the deterministic ordering used by Registry.All.
-var FamilyOrder = []string{FamilyCacheSCA, FamilyTransient, FamilyPhysical}
+// (§4.1, §4.2, §5, then the §3 attestation lifecycle, which the survey
+// introduces first but this codebase grew last) — the deterministic
+// ordering used by Registry.All.
+var FamilyOrder = []string{FamilyCacheSCA, FamilyTransient, FamilyPhysical, FamilyAttestation}
 
 // Outcome is what a mounted scenario measured. It is the engine's outcome
 // type: scenarios feed the experiment scheduler directly, so the table

@@ -47,6 +47,7 @@ func TestSamplingProfiles(t *testing.T) {
 	oneShot := map[string]bool{
 		"spectre-v1": true, "spectre-btb": true, "ret2spec": true, "meltdown": true, "foreshadow": true,
 		"dfa-piret-quisquater": true, "bellcore": true, "clkscrew": true,
+		"quote-replay": true, "measure-toctou": true, "stale-tcb": true,
 	}
 	for _, s := range All() {
 		want := oneShot[s.Name()]

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// getWithHeaders is get with request headers, for conditional requests.
+func getWithHeaders(t *testing.T, s *Server, target string, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, target, nil)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestCellETagRevalidate pins /cell's conditional-request contract: a
+// 200 carries a strong ETag derived from the canonical content address,
+// and If-None-Match on that tag revalidates as an empty 304.
+func TestCellETagRevalidate(t *testing.T) {
+	s := newTestServer(Options{})
+	const target = "/cell?scenario=flush%2Breload&arch=sgx&defense=none&samples=64"
+
+	first := get(t, s, target)
+	if first.Code != http.StatusOK {
+		t.Fatalf("GET = %d %s", first.Code, first.Body.String())
+	}
+	etag := first.Header().Get("ETag")
+	if etag == "" || !strings.HasPrefix(etag, `"`) || strings.HasPrefix(etag, "W/") {
+		t.Fatalf("ETag = %q, want a quoted strong tag", etag)
+	}
+
+	// Matching tag: 304, no body, ETag still present for cache update.
+	cond := getWithHeaders(t, s, target, map[string]string{"If-None-Match": etag})
+	if cond.Code != http.StatusNotModified {
+		t.Fatalf("If-None-Match %s = %d, want 304", etag, cond.Code)
+	}
+	if cond.Body.Len() != 0 {
+		t.Fatalf("304 carried a body: %q", cond.Body.String())
+	}
+	if got := cond.Header().Get("ETag"); got != etag {
+		t.Fatalf("304 ETag = %q, want %q", got, etag)
+	}
+
+	// Weak-form and list-form matches also revalidate (RFC 9110 §13.1.2:
+	// If-None-Match uses weak comparison).
+	for _, h := range []string{"W/" + etag, `"deadbeef", ` + etag, "*"} {
+		if rec := getWithHeaders(t, s, target, map[string]string{"If-None-Match": h}); rec.Code != http.StatusNotModified {
+			t.Errorf("If-None-Match %q = %d, want 304", h, rec.Code)
+		}
+	}
+
+	// A stale tag misses: full 200 with the same ETag.
+	miss := getWithHeaders(t, s, target, map[string]string{"If-None-Match": `"0123456789abcdef0123456789abcdef"`})
+	if miss.Code != http.StatusOK || miss.Body.Len() == 0 {
+		t.Fatalf("stale If-None-Match = %d body %d bytes, want full 200", miss.Code, miss.Body.Len())
+	}
+	if miss.Header().Get("ETag") != etag {
+		t.Fatalf("ETag changed across requests: %q vs %q", miss.Header().Get("ETag"), etag)
+	}
+
+	// Canonically equal queries address the same content, so they carry
+	// the same tag; a different cell carries a different one.
+	alias := get(t, s, "/cell?scenario=Flush%2BReload&arch=SGX&defense=None&samples=64")
+	if alias.Header().Get("ETag") != etag {
+		t.Fatalf("canonical alias ETag = %q, want %q", alias.Header().Get("ETag"), etag)
+	}
+	other := get(t, s, "/cell?scenario=flush%2Breload&arch=sgx&defense=none&samples=32")
+	if other.Header().Get("ETag") == etag {
+		t.Fatal("distinct cells share an ETag")
+	}
+
+	// The metrics ledger: exactly the four 304s above were revalidations.
+	body := get(t, s, "/metrics").Body.String()
+	if !strings.Contains(body, "intrust_cell_revalidations_total 4") {
+		t.Fatalf("metrics missing revalidation count:\n%s", body)
+	}
+}
+
+// TestCellETagZeroCompute pins the property the address-derived tag
+// buys: a conditional request revalidates 304 without ever computing
+// the cell — even on a process that has never seen it.
+func TestCellETagZeroCompute(t *testing.T) {
+	s := newTestServer(Options{})
+	const target = "/cell?scenario=dpa&arch=trustzone&defense=none&samples=64"
+
+	// Learn the tag on one server, revalidate against a cold one.
+	etag := get(t, s, target).Header().Get("ETag")
+	cold := newTestServer(Options{})
+	rec := getWithHeaders(t, cold, target, map[string]string{"If-None-Match": etag})
+	if rec.Code != http.StatusNotModified {
+		t.Fatalf("cold revalidation = %d, want 304", rec.Code)
+	}
+	body := get(t, cold, "/metrics").Body.String()
+	for _, want := range []string{
+		"intrust_cells_computed_total 0",
+		"intrust_cache_hits_total 0",
+		"intrust_cache_misses_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("cold server moved a counter; metrics missing %q", want)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -156,6 +158,19 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// A cell body is a pure function of its canonical key, so the ETag
+	// derives from the content *address*, not the content: revalidation
+	// is sound even for cells this process has never computed — if the
+	// client holds a body for this address, that body is current. A warm
+	// revalidate (and even a cold one) is therefore a 304 with zero
+	// compute.
+	etag := cellETag(key)
+	w.Header().Set("ETag", etag)
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		s.met.revalidations.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	if body, ok := s.cache.get(key.Encode()); ok {
 		writeCell(w, body, "hit")
 		return
@@ -172,6 +187,32 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeCell(w, body, "miss")
+}
+
+// cellETag renders a cell's entity tag: a digest of the canonical
+// content address. Strong (no W/ prefix) because equal addresses imply
+// byte-equal bodies.
+func cellETag(key core.CellKey) string {
+	sum := sha256.Sum256([]byte(key.Encode()))
+	return `"` + hex.EncodeToString(sum[:16]) + `"`
+}
+
+// etagMatch implements If-None-Match per RFC 9110 §13.1.2 for strong
+// tags: a comma-separated candidate list, "*" matching anything, and
+// weak-prefixed candidates compared by opaque value (weak comparison is
+// allowed for If-None-Match).
+func etagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == "*" || cand == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // writeCell writes one cached (newline-terminated) JSON body with its

@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"github.com/intrust-sim/intrust/internal/attestsvc"
+	"github.com/intrust-sim/intrust/internal/core"
+)
+
+// The attestation endpoints make the serve tier a quote/verify service
+// riding the existing machinery: quote bodies and verify verdicts are
+// pure functions of their inputs (deterministic Ed25519 signing, and a
+// verifier that is stateless with respect to nonces), so both cache in
+// the same content-addressed LRU as grid cells; the revocation grid the
+// verify policy derives from computes through computeCell, so its cells
+// are shared with /cell and /sweep traffic and ride admission when cold.
+
+// attestState is the server's attestation lifecycle state: the service
+// (authority + policy) and the lazily computed sweep-driven revocation
+// grid behind it.
+type attestState struct {
+	svc    *attestsvc.Service
+	keys   []core.CellKey
+	keyErr error
+
+	flight *flightGroup
+	mu     sync.RWMutex
+	ready  bool
+	fp     string
+}
+
+// defaultRevocationSamples is the fixed per-cell budget of the
+// revocation grid: fixed rather than adaptive so the derived TCB state
+// never depends on an adaptive policy default.
+const defaultRevocationSamples = 64
+
+func newAttestState(opts Options) *attestState {
+	archs, attacks := opts.RevocationArchs, opts.RevocationAttacks
+	if len(archs) == 0 {
+		archs = []string{"all"}
+	}
+	if len(attacks) == 0 {
+		attacks = []string{"all"}
+	}
+	samples := opts.RevocationSamples
+	if samples <= 0 {
+		samples = defaultRevocationSamples
+	}
+	st := &attestState{
+		svc:    attestsvc.NewService(attestsvc.RootFromSeed(opts.Seed)),
+		flight: newFlightGroup(),
+	}
+	st.keys, st.keyErr = core.RevocationCellKeys(archs, attacks, core.CellOptions{Samples: samples, Seed: opts.Seed})
+	return st
+}
+
+// revocationReady reports whether the revocation grid has been folded
+// into the service's policy (and its fingerprint when it has).
+func (a *attestState) revocationReady() (string, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.fp, a.ready
+}
+
+// ensureRevocations computes (or reads warm) every revocation grid cell
+// and installs the derived TCB state. Concurrent callers collapse into
+// one flight; the caller must hold a compute slot if any cell is cold.
+func (s *Server) ensureRevocations(ctx context.Context) (string, error) {
+	a := s.attest
+	if fp, ok := a.revocationReady(); ok {
+		return fp, nil
+	}
+	if a.keyErr != nil {
+		return "", a.keyErr
+	}
+	_, err, _ := a.flight.do("revocations", func() ([]byte, error) {
+		if _, ok := a.revocationReady(); ok {
+			return nil, nil
+		}
+		cells := make([]attestsvc.Cell, 0, len(a.keys))
+		for _, k := range a.keys {
+			body, ok := s.cache.get(k.Encode())
+			if !ok {
+				var err error
+				if body, err = s.computeCell(ctx, k); err != nil {
+					return nil, err
+				}
+			}
+			var c Cell
+			if err := json.Unmarshal(body, &c); err != nil {
+				return nil, fmt.Errorf("revocation cell %s: %w", k.Encode(), err)
+			}
+			cells = append(cells, attestsvc.Cell{
+				Scenario: c.Scenario, Arch: c.Arch, Defense: c.Defense, Class: c.Class,
+			})
+		}
+		rev := attestsvc.Revoke(cells)
+		a.svc.SetRevocations(rev)
+		revoked := 0
+		for _, st := range rev.Statuses() {
+			if st.Revoked {
+				revoked++
+			}
+		}
+		s.met.attestRevoked.Store(int64(revoked))
+		a.mu.Lock()
+		a.fp = rev.Fingerprint()
+		a.ready = true
+		a.mu.Unlock()
+		return nil, nil
+	})
+	if err != nil {
+		return "", err
+	}
+	fp, _ := a.revocationReady()
+	return fp, nil
+}
+
+// revocationCold reports whether any revocation grid cell would need a
+// cold compute — the admission decision for /attest/verify and
+// /attest/tcb, mirroring /sweep's.
+func (s *Server) revocationCold() bool {
+	if _, ok := s.attest.revocationReady(); ok {
+		return false
+	}
+	for _, k := range s.attest.keys {
+		if !s.cache.peek(k.Encode()) {
+			return true
+		}
+	}
+	return false
+}
+
+// quoteWire is the URL-safe text encoding of a wire quote: unpadded
+// base64url survives query strings without '+'-mangling (see axisToken
+// for the axis-side version of that hazard).
+var quoteWire = base64.RawURLEncoding
+
+// attestQuoteBody is the /attest/quote response.
+type attestQuoteBody struct {
+	Arch        string `json:"arch"`
+	Config      string `json:"config"`
+	TCBVersion  uint32 `json:"tcb_version"`
+	Measurement string `json:"measurement"`
+	Nonce       string `json:"nonce,omitempty"`
+	Quote       string `json:"quote"`
+}
+
+// handleAttestQuote mints the canonical quote for (arch, config, tcb),
+// optionally bound to a challenger nonce and report data (hex). Quotes
+// are deterministic, so they cache like grid cells.
+func (s *Server) handleAttestQuote(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	arch := axisToken(q.Get("arch"))
+	config := q.Get("config")
+	if config == "" {
+		config = attestsvc.ConfigStock
+	}
+	if config != attestsvc.ConfigNone && config != attestsvc.ConfigStock {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("config: %q is not a canonical configuration (none, stock)", config))
+		return
+	}
+	tcb := attestsvc.TCBForConfig(config)
+	if v := q.Get("tcb"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 32)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("tcb: %q is not an unsigned integer", v))
+			return
+		}
+		tcb = uint32(n)
+	}
+	nonce, err := hexParam(q.Get("nonce"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "nonce: "+err.Error())
+		return
+	}
+	data, err := hexParam(q.Get("data"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "data: "+err.Error())
+		return
+	}
+	addr := fmt.Sprintf("attest|quote|v1|%s|%s|%d|%x|%x", arch, config, tcb, nonce, data)
+	if body, ok := s.cache.get(addr); ok {
+		writeCell(w, body, "hit")
+		return
+	}
+	qt, err := s.attest.svc.Quote(arch, config, tcb, nonce, data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	wire, err := qt.Encode()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.met.attestQuotes.Add(1)
+	body := marshalLine(attestQuoteBody{
+		Arch:        arch,
+		Config:      config,
+		TCBVersion:  tcb,
+		Measurement: qt.Measurement.Hex(),
+		Nonce:       hex.EncodeToString(nonce),
+		Quote:       quoteWire.EncodeToString(wire),
+	})
+	s.cache.put(addr, body)
+	writeCell(w, body, "miss")
+}
+
+// attestVerifyBody is the /attest/verify response: the verdict plus the
+// revocation-state fingerprint it was decided under.
+type attestVerifyBody struct {
+	attestsvc.Verdict
+	RevocationFP string `json:"revocation_fp"`
+}
+
+// handleAttestVerify verifies a wire quote (base64url `quote` param)
+// against the sweep-driven policy, optionally binding a challenge nonce
+// (hex). The verdict is a pure function of (quote, nonce, revocation
+// state), so it caches keyed by the revocation fingerprint; rejected
+// quotes are still 200s — the HTTP layer reports transport problems,
+// the body reports attestation ones.
+func (s *Server) handleAttestVerify(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	wire, err := quoteWire.DecodeString(q.Get("quote"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "quote: not valid base64url: "+err.Error())
+		return
+	}
+	if len(wire) == 0 {
+		writeError(w, http.StatusBadRequest, "quote: required (base64url wire quote)")
+		return
+	}
+	nonce, err := hexParam(q.Get("nonce"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "nonce: "+err.Error())
+		return
+	}
+	if s.revocationCold() {
+		release, err := s.adm.acquire(r.Context())
+		if err != nil {
+			writeAdmissionError(w, err)
+			return
+		}
+		defer release()
+	}
+	fp, err := s.ensureRevocations(r.Context())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	sum := sha256.Sum256(wire)
+	addr := fmt.Sprintf("attest|verify|v1|%s|%x|%x", fp, sum[:16], nonce)
+	if body, ok := s.cache.get(addr); ok {
+		writeCell(w, body, "hit")
+		return
+	}
+	vd := s.attest.svc.Verify(wire, nonce)
+	if vd.OK {
+		s.met.attestAccepted.Add(1)
+	} else {
+		s.met.attestRejected.Add(1)
+	}
+	body := marshalLine(attestVerifyBody{Verdict: vd, RevocationFP: fp})
+	s.cache.put(addr, body)
+	writeCell(w, body, "miss")
+}
+
+// attestTCBBody is the /attest/tcb response: the per-arch revocation
+// table plus the grid slice it derives from.
+type attestTCBBody struct {
+	RevocationFP string                `json:"revocation_fp"`
+	GridCells    int                   `json:"grid_cells"`
+	Statuses     []attestsvc.TCBStatus `json:"statuses"`
+}
+
+// handleAttestTCB reports the sweep-driven TCB state, computing the
+// revocation grid on first use. No refresh knob: the grid is a pure
+// function of the configured slice and seed, so recomputing could never
+// change the answer within one process lifetime.
+func (s *Server) handleAttestTCB(w http.ResponseWriter, r *http.Request) {
+	if s.revocationCold() {
+		release, err := s.adm.acquire(r.Context())
+		if err != nil {
+			writeAdmissionError(w, err)
+			return
+		}
+		defer release()
+	}
+	fp, err := s.ensureRevocations(r.Context())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	body := marshalLine(attestTCBBody{
+		RevocationFP: fp,
+		GridCells:    len(s.attest.keys),
+		Statuses:     s.attest.svc.TCB(),
+	})
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// hexParam decodes an optional hex query value ("" decodes to nil).
+func hexParam(v string) ([]byte, error) {
+	if v == "" {
+		return nil, nil
+	}
+	b, err := hex.DecodeString(v)
+	if err != nil {
+		return nil, fmt.Errorf("%q is not valid hex", v)
+	}
+	return b, nil
+}

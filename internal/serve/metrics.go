@@ -30,6 +30,12 @@ type metrics struct {
 	cellComputeUS  atomic.Int64 // summed compute wall clock, microseconds
 	cellsStreamed  atomic.Int64
 	cellErrors     atomic.Int64
+
+	revalidations  atomic.Int64 // /cell 304s answered from the content address
+	attestQuotes   atomic.Int64
+	attestAccepted atomic.Int64
+	attestRejected atomic.Int64
+	attestRevoked  atomic.Int64 // gauge: archs with a revoked baseline TCB
 }
 
 // latencyBuckets are the per-endpoint histogram bounds in seconds; +Inf
@@ -130,6 +136,16 @@ func (m *metrics) render(w io.Writer, cache *cellCache, adm *admission) {
 	fmt.Fprintf(w, "intrust_cells_streamed_total %d\n", m.cellsStreamed.Load())
 	writeHeader("intrust_cell_errors_total", "counter", "Cell computations that returned an engine error.")
 	fmt.Fprintf(w, "intrust_cell_errors_total %d\n", m.cellErrors.Load())
+	writeHeader("intrust_cell_revalidations_total", "counter", "Conditional /cell requests answered 304 from the content address alone.")
+	fmt.Fprintf(w, "intrust_cell_revalidations_total %d\n", m.revalidations.Load())
+
+	writeHeader("intrust_attest_quotes_total", "counter", "Attestation quotes minted cold (cache misses that signed).")
+	fmt.Fprintf(w, "intrust_attest_quotes_total %d\n", m.attestQuotes.Load())
+	writeHeader("intrust_attest_verifies_total", "counter", "Quote verifications decided cold, by result.")
+	fmt.Fprintf(w, "intrust_attest_verifies_total{result=\"accepted\"} %d\n", m.attestAccepted.Load())
+	fmt.Fprintf(w, "intrust_attest_verifies_total{result=\"rejected\"} %d\n", m.attestRejected.Load())
+	writeHeader("intrust_attest_revoked_archs", "gauge", "Architectures whose baseline TCB is revoked by the sweep-driven policy.")
+	fmt.Fprintf(w, "intrust_attest_revoked_archs %d\n", m.attestRevoked.Load())
 
 	writeHeader("intrust_cache_hits_total", "counter", "Result-cache hits.")
 	fmt.Fprintf(w, "intrust_cache_hits_total %d\n", cache.hits.Load())

@@ -20,6 +20,9 @@
 //	/defenses  the mitigation catalog as JSON
 //	/bench     the internal/perf throughput report (computed once,
 //	           ?refresh=1 recomputes)
+//	/attest/quote   a signed attestation quote for (arch, config, tcb)
+//	/attest/verify  verify a wire quote under the sweep-driven policy
+//	/attest/tcb     per-arch TCB revocation state and its grid evidence
 //	/metrics   Prometheus text exposition (cells/sec, cache hit rate,
 //	           in-flight jobs, queue depth, per-endpoint latency)
 //
@@ -59,11 +62,23 @@ type Options struct {
 	// (<= 0 selects 64).
 	QueueDepth int
 	// Seed is the base engine seed cells compute under (the CLI sweep
-	// uses 0).
+	// uses 0). It also roots the attestation authority's per-arch
+	// quoting keys, so a CLI `intrust attest` run with the same seed
+	// mints quotes this server verifies.
 	Seed int64
 	// BenchConfigs are the sweep configurations /bench measures
 	// (nil selects perf.CanonicalConfigs()).
 	BenchConfigs []perf.Config
+	// RevocationArchs and RevocationAttacks select the none-defense
+	// grid slice TCB revocation derives from (nil selects "all"). The
+	// slice computes lazily on the first /attest/verify or /attest/tcb
+	// request, through the same content-addressed cell cache as any
+	// /cell request, so a warm grid revokes in microseconds.
+	RevocationArchs, RevocationAttacks []string
+	// RevocationSamples is the per-cell budget of the revocation grid
+	// (<= 0 selects 64; fixed-budget, so the derived state is identical
+	// across processes regardless of adaptive policy defaults).
+	RevocationSamples int
 }
 
 // Server is the sweep-as-a-service HTTP handler plus its cache,
@@ -82,6 +97,8 @@ type Server struct {
 	bench       atomic.Pointer[[]byte]
 	attacks     []byte
 	defenses    []byte
+
+	attest *attestState
 }
 
 // testComputeStall, when non-nil, is called while holding a compute
@@ -112,6 +129,7 @@ func New(opts Options) *Server {
 		benchFlight: newFlightGroup(),
 		mux:         http.NewServeMux(),
 	}
+	s.attest = newAttestState(opts)
 	s.buildCatalogs()
 	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/cell", s.instrument("/cell", s.handleCell))
@@ -119,6 +137,9 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/attacks", s.instrument("/attacks", s.handleAttacks))
 	s.mux.HandleFunc("/defenses", s.instrument("/defenses", s.handleDefenses))
 	s.mux.HandleFunc("/bench", s.instrument("/bench", s.handleBench))
+	s.mux.HandleFunc("/attest/quote", s.instrument("/attest/quote", s.handleAttestQuote))
+	s.mux.HandleFunc("/attest/verify", s.instrument("/attest/verify", s.handleAttestVerify))
+	s.mux.HandleFunc("/attest/tcb", s.instrument("/attest/tcb", s.handleAttestTCB))
 	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	return s
 }

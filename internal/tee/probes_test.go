@@ -97,3 +97,38 @@ func (f *fakeEnclave) Call(...uint32) ([2]uint32, error) {
 func (f *fakeEnclave) Attest([]byte) (*attest.Report, error) { return nil, tee.ErrUnsupported }
 func (f *fakeEnclave) Seal([]byte) ([]byte, error)           { return nil, tee.ErrUnsupported }
 func (f *fakeEnclave) Unseal([]byte) ([]byte, error)         { return nil, tee.ErrUnsupported }
+
+func TestProbeAttestation(t *testing.T) {
+	// SGX's attestation path binds measurement and challenge.
+	s, err := sgx.New(platform.NewServer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.CreateEnclave(tee.EnclaveConfig{
+		Name: "c", Program: isa.MustAssemble(".org 0\nhlt"), DataSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := tee.ProbeAttestation(s, e, []byte("challenge-1")); !r.Secure {
+		t.Errorf("SGX attestation probe: %s", r.Detail)
+	}
+
+	// Negative control: the fake enclave has no attestation path at all.
+	if r := tee.ProbeAttestation(s, &fakeEnclave{base: 0x300000}, []byte("n")); r.Secure {
+		t.Errorf("fake enclave passed the attestation probe: %s", r.Detail)
+	}
+
+	// Negative control: a replayable report (constant authenticator) is
+	// flagged even though it echoes the nonce and measurement.
+	if r := tee.ProbeAttestation(s, &replayEnclave{fakeEnclave{base: 0x300000}}, []byte("n")); r.Secure {
+		t.Errorf("replayable attestation passed the probe: %s", r.Detail)
+	}
+}
+
+// replayEnclave attests with a constant authenticator: nonce and
+// measurement are echoed honestly, but the MAC never changes.
+type replayEnclave struct{ fakeEnclave }
+
+func (r *replayEnclave) Attest(nonce []byte) (*attest.Report, error) {
+	return &attest.Report{Measurement: r.Measurement(), Nonce: nonce, MAC: []byte{1, 2, 3}}, nil
+}

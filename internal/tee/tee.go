@@ -5,6 +5,7 @@
 package tee
 
 import (
+	"bytes"
 	"fmt"
 
 	"github.com/intrust-sim/intrust/internal/attest"
@@ -130,6 +131,46 @@ func ProbeBusSnoop(a Architecture, e Enclave, secretOff uint32, secret byte) Pro
 	}
 	return ProbeResult{Name: "bus-snoop", Secure: true,
 		Detail: "raw memory holds ciphertext"}
+}
+
+// ProbeAttestation exercises the enclave's attestation path under a
+// challenger nonce: the report must carry the enclave's measurement and
+// echo the challenge, and re-attesting under a different nonce must
+// change the authenticator — the freshness binding the attestation
+// lifecycle (internal/attestsvc) builds its replay defense on. The probe
+// checks binding structurally, without the report key: a verifier-side
+// MAC check is the challenger's job, but an attestation routine that
+// ignores its nonce is broken regardless of who holds the key.
+func ProbeAttestation(a Architecture, e Enclave, nonce []byte) ProbeResult {
+	r, err := e.Attest(nonce)
+	if err != nil {
+		return ProbeResult{Name: "attest-freshness", Secure: false,
+			Detail: "attestation unavailable: " + err.Error()}
+	}
+	if r.Measurement != e.Measurement() {
+		return ProbeResult{Name: "attest-freshness", Secure: false,
+			Detail: "report measurement does not match the enclave identity"}
+	}
+	if !bytes.Equal(r.Nonce, nonce) {
+		return ProbeResult{Name: "attest-freshness", Secure: false,
+			Detail: "report does not echo the challenger's nonce"}
+	}
+	// A second challenge must yield a different authenticator, or a
+	// recorded report replays against every future challenge.
+	other := make([]byte, len(nonce)+1)
+	copy(other, nonce)
+	other[len(nonce)] ^= 0xa5
+	r2, err := e.Attest(other)
+	if err != nil {
+		return ProbeResult{Name: "attest-freshness", Secure: false,
+			Detail: "re-attestation failed: " + err.Error()}
+	}
+	if bytes.Equal(r.MAC, r2.MAC) {
+		return ProbeResult{Name: "attest-freshness", Secure: false,
+			Detail: "authenticator did not change across challenges (replayable)"}
+	}
+	return ProbeResult{Name: "attest-freshness", Secure: true,
+		Detail: "report binds measurement and challenge; authenticator is challenge-fresh"}
 }
 
 // ProbeOSAccess attempts a privileged CPU read of enclave memory from the

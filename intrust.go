@@ -37,6 +37,7 @@ import (
 	"github.com/intrust-sim/intrust/internal/attack/physical"
 	"github.com/intrust-sim/intrust/internal/attack/transient"
 	"github.com/intrust-sim/intrust/internal/attest"
+	"github.com/intrust-sim/intrust/internal/attestsvc"
 	"github.com/intrust-sim/intrust/internal/core"
 	"github.com/intrust-sim/intrust/internal/cpu"
 	"github.com/intrust-sim/intrust/internal/defense"
@@ -475,10 +476,13 @@ type (
 	// PerfResult is one configuration's measured throughput and sample
 	// cost.
 	PerfResult = perf.Result
-	// PerfReport is the BENCH_sweep.json artifact: environment,
+	// PerfReport is one environment's throughput report: environment,
 	// allocations per cache access, and one PerfResult per
 	// configuration.
 	PerfReport = perf.Report
+	// PerfFile is the BENCH_sweep.json artifact: one PerfReport per
+	// measured environment, matched per-environment by the bench gate.
+	PerfFile = perf.File
 )
 
 // Performance-tracking entry points.
@@ -490,8 +494,11 @@ var (
 	PerfRun = perf.Run
 	// PerfCompare gates a fresh report against a baseline's cells/sec.
 	PerfCompare = perf.Compare
-	// PerfReadFile loads a report written by `intrust bench`.
+	// PerfReadFile loads a single-environment report.
 	PerfReadFile = perf.ReadFile
+	// PerfReadBaseline loads a BENCH_sweep.json baseline in either
+	// layout (multi-environment container or legacy single report).
+	PerfReadBaseline = perf.ReadBaseline
 	// AllocsPerAccess measures heap allocations per cache-hierarchy
 	// access (tracked at zero for the flattened substrate).
 	AllocsPerAccess = perf.AllocsPerAccess
@@ -540,4 +547,48 @@ var (
 	// RunExperiment executes a single engine experiment outside any
 	// worker pool (same seeding and panic confinement as a pooled run).
 	RunExperiment = engine.RunOne
+)
+
+// Remote attestation lifecycle: deterministic enclave measurement,
+// per-architecture signed quotes, policy-driven verification, and
+// TCB revocation fed by the sweep grid (the `intrust attest` CLI mode
+// and the serve tier's /attest endpoints). See internal/attestsvc and
+// the lifecycle section of docs/ARCHITECTURE.md.
+type (
+	// AttestService bundles a quoting authority with a sweep-revocable
+	// verification policy.
+	AttestService = attestsvc.Service
+	// AttestQuote is one signed attestation quote (the "IAQ1" wire
+	// format round-trips through Encode/DecodeQuote).
+	AttestQuote = attestsvc.Quote
+	// AttestVerdict is a verification outcome: accepted or a typed
+	// rejection code with the policy context that produced it.
+	AttestVerdict = attestsvc.Verdict
+	// AttestPolicy is a verifier's explicit acceptance policy
+	// (measurement allow-list, per-arch minimum TCB, freshness).
+	AttestPolicy = attestsvc.Policy
+	// AttestRevocations is the sweep-derived TCB state: per-arch
+	// minimum TCB versions with the broken cells as evidence.
+	AttestRevocations = attestsvc.Revocations
+	// AttestCell is the grid-cell evidence Revoke consumes.
+	AttestCell = attestsvc.Cell
+)
+
+// Attestation lifecycle entry points.
+var (
+	// NewAttestService builds a Service from an authority root secret
+	// (AttestRootFromSeed derives one shared with `intrust serve`).
+	NewAttestService = attestsvc.NewService
+	// AttestRootFromSeed derives the authority root from an engine
+	// seed, so CLI and server agree on quoting keys.
+	AttestRootFromSeed = attestsvc.RootFromSeed
+	// DecodeAttestQuote strictly parses the quote wire format
+	// (malformed input errors; it never panics — fuzz-pinned).
+	DecodeAttestQuote = attestsvc.DecodeQuote
+	// AttestRevoke folds broken none-defense grid cells into
+	// per-architecture TCB revocations.
+	AttestRevoke = attestsvc.Revoke
+	// ComputeRevocations runs a none-defense grid slice on the engine
+	// and derives the revocation state from its verdicts.
+	ComputeRevocations = core.ComputeRevocations
 )

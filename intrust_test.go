@@ -100,3 +100,27 @@ func TestFacadeFigure1Renders(t *testing.T) {
 		}
 	}
 }
+
+func TestFacadeAttestLifecycle(t *testing.T) {
+	svc := NewAttestService(AttestRootFromSeed(0))
+	q, err := svc.Quote("sgx", "none", 1, []byte{0xaa}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeAttestQuote(wire); err != nil {
+		t.Fatalf("decode canonical quote: %v", err)
+	}
+	if vd := svc.Verify(wire, []byte{0xaa}); !vd.OK {
+		t.Fatalf("clean verify: %+v", vd)
+	}
+	// A broken none-defense cell revokes the baseline TCB.
+	svc.SetRevocations(AttestRevoke([]AttestCell{
+		{Scenario: "flush+reload", Arch: "sgx", Defense: "none", Class: "broken"}}))
+	if vd := svc.Verify(wire, []byte{0xaa}); vd.OK || vd.Code != "tcb-revoked" {
+		t.Fatalf("post-revocation verify = %+v, want tcb-revoked", vd)
+	}
+}
