@@ -6,7 +6,7 @@
 // Usage:
 //
 //	intrust [-quick] [fig1|arch|cachesca|transient|physical|all]
-//	intrust sweep [-arch a,b|all] [-attack scenario|family,...|all] [-defense none|stock|name,...|all] [-samples N] [-confidence C] [-maxsamples N] [-parallel N] [-json] [-diff] [-cpuprofile f] [-memprofile f]
+//	intrust sweep [-arch a,b|all] [-attack scenario|family,...|all] [-defense none|stock|name,...|all] [-samples N] [-confidence C] [-maxsamples N] [-parallel N] [-shard N] [-json] [-diff] [-cpuprofile f] [-memprofile f] [-mutexprofile f]
 //	intrust serve [-addr :8089] [-cache N] [-maxinflight N] [-queue N] [-seed N] [-drain 30s]
 //	intrust attacks [-family f] [-markdown] [-o file]
 //	intrust defenses [-family f] [-markdown] [-o file]
@@ -41,10 +41,12 @@
 // The bench mode runs the canonical sweep configurations (the none+stock
 // grid, fixed and adaptive) through internal/perf and folds the result
 // into the multi-environment BENCH_sweep.json throughput artifact (one
-// entry per Go release × GOMAXPROCS × pool size); with -baseline it also
-// fails when cells/sec regresses past -maxregress against the baseline
-// entry matching this environment — the CI gate that tracks substrate
-// performance across PRs.
+// entry per Go release × core count × GOMAXPROCS × pool size); with
+// -baseline it also fails when cells/sec regresses past -maxregress
+// against the baseline entry matching this environment — the CI gate
+// that tracks substrate performance across PRs. When the artifact holds
+// a GOMAXPROCS=1/8 pair, bench also prints the derived scaling_x metric
+// the checked-in-artifact test gates on.
 //
 // The attest mode drives the remote attestation lifecycle
 // (internal/attestsvc) from the command line: measure prints canonical
@@ -53,8 +55,8 @@
 // tcb/policy dump the revocation state — optionally derived live from a
 // sweep slice via -revoke-arch/-revoke-attack, the same feedback loop
 // the serve tier's /attest endpoints run. The sweep's
-// -cpuprofile/-memprofile flags write pprof profiles for hunting the next
-// hot spot (see docs/PERFORMANCE.md).
+// -cpuprofile/-memprofile/-mutexprofile flags write pprof profiles for
+// hunting the next hot spot (see docs/PERFORMANCE.md).
 package main
 
 import (
@@ -252,10 +254,12 @@ func runSweep(args []string) int {
 	maxSamples := fs.Int("maxsamples", 0,
 		"adaptive sampling: per-cell sample cap for hard cells (0 = 4x the reference budget)")
 	parallel := fs.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
+	shard := fs.Int("shard", 0, "jobs per work-stealing shard (0 = auto); results are identical at every value")
 	jsonOut := fs.Bool("json", false, "emit the machine-readable engine report instead of the text table")
 	diff := fs.Bool("diff", false, "also report which cells each defense flips versus the none baseline (adds none to the axis)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile (after the sweep) to this file")
+	mutexProfile := fs.String("mutexprofile", "", "write a pprof mutex-contention profile of the sweep to this file")
 	fs.Parse(args)
 
 	if *cpuProfile != "" {
@@ -281,6 +285,23 @@ func runSweep(args []string) int {
 			defer f.Close()
 			runtime.GC() // settle live heap before the snapshot
 			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			}
+		}()
+	}
+	if *mutexProfile != "" {
+		// Rate 1 records every contended lock; the sweep is short enough
+		// that full sampling stays cheap and the profile stays complete.
+		runtime.SetMutexProfileFraction(1)
+		defer runtime.SetMutexProfileFraction(0)
+		defer func() {
+			f, err := os.Create(*mutexProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
 				fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 			}
 		}()
@@ -321,6 +342,7 @@ func runSweep(args []string) int {
 		return 2
 	}
 	eng := engine.New(*parallel)
+	eng.ShardSize = *shard
 	start := time.Now()
 	results, runErr := eng.Run(context.Background(), exps)
 	wall := time.Since(start)
@@ -498,6 +520,20 @@ func runBench(args []string) int {
 		return 1
 	}
 	fmt.Printf("[throughput report written to %s (%d environments)]\n", *outPath, len(art.Environments))
+	// When the artifact now holds a GOMAXPROCS=1/8 pair, surface the
+	// derived multi-core scaling so a refresher sees the number the
+	// checked-in-artifact gate (internal/perf TestCheckedInScalingGate)
+	// will hold it to. Informational here: the artifact test is the gate.
+	if scal, err := art.ScalingX(); err == nil {
+		for _, s := range scal {
+			for _, name := range s.Names() {
+				fmt.Printf("scaling_x %-20s %.3f (numcpu=%d, floor %.2f)\n", name, s.X[name], s.NumCPU, s.Floor())
+			}
+			if err := s.Check(); err != nil {
+				fmt.Printf("[warning: %v — rerun bench for this environment before committing %s]\n", err, *outPath)
+			}
+		}
+	}
 	if *baseline != "" {
 		baseFile, err := perf.ReadBaseline(*baseline)
 		if err != nil {

@@ -1,0 +1,111 @@
+package physical
+
+import (
+	"math/rand"
+
+	"github.com/intrust-sim/intrust/internal/power"
+	"github.com/intrust-sim/intrust/internal/softcrypto"
+)
+
+// The arena-backed DPA/CPA path: the sweep's production kernels. The
+// naive TraceSet implementations above are retained as the reference —
+// the kernel-equivalence property tests assert both paths bit-identical
+// on randomized trace sets, which the exact int64 arithmetic of
+// power.Arena makes possible (see power.Quantize).
+
+// CollectArena gathers n traces of random plaintexts into the arena.
+// The RNG and probe-noise consumption is identical to CollectTraces, so
+// both paths record the same quantized samples for the same seed.
+func CollectArena(a *power.Arena, v AESVictim, probe *power.Probe, n int, rng *rand.Rand) {
+	a.Reset()
+	ExtendArena(a, v, probe, n, rng)
+}
+
+// ExtendArena adds n more traces to the arena — the sequential-sampling
+// hook, allocation-free in steady state: trace samples append to the
+// arena's contiguous backing (pre-reserved via Grow) and the plaintext
+// buffer lives on the arena.
+func ExtendArena(a *power.Arena, v AESVictim, probe *power.Probe, n int, rng *rand.Rand) {
+	pt := a.StageInput()
+	for i := 0; i < n; i++ {
+		rng.Read(pt)
+		rec := a.BeginTrace(probe)
+		v.EncryptTraced(pt, rec)
+		a.EndTrace(pt)
+	}
+}
+
+// sboxHW[u] is HW(SBox(u)) — the CPA hypothesis table. For guess k and
+// plaintext-byte class v the model value is sboxHW[v^k].
+var sboxHW [256]int64
+
+// sboxBit0 holds the 128 byte values whose S-box output has bit 0 set —
+// the DPA selection function's preimage. For guess k, class v is
+// selected iff v^k is in this set.
+var sboxBit0 []byte
+
+func init() {
+	for u := 0; u < 256; u++ {
+		s := softcrypto.SBox(byte(u))
+		sboxHW[u] = int64(power.HW(uint32(s)))
+		if s&1 == 1 {
+			sboxBit0 = append(sboxBit0, byte(u))
+		}
+	}
+}
+
+// DPAByteArena recovers one key byte with the batched difference-of-means
+// distinguisher — bit-identical to DPAByte on the same recorded traces.
+func DPAByteArena(a *power.Arena, byteIdx int) (byte, float64) {
+	cs := a.ClassSumsFor(byteIdx)
+	bestK, bestD := byte(0), -1.0
+	var selected [256]bool
+	for k := 0; k < 256; k++ {
+		for i := range selected {
+			selected[i] = false
+		}
+		for _, u := range sboxBit0 {
+			selected[u^byte(k)] = true
+		}
+		if d := cs.DifferenceOfMeans(&selected); d > bestD {
+			bestK, bestD = byte(k), d
+		}
+	}
+	return bestK, bestD
+}
+
+// DPAKeyArena recovers all 16 key bytes with the batched distinguisher.
+func DPAKeyArena(a *power.Arena) [16]byte {
+	var out [16]byte
+	for i := 0; i < 16; i++ {
+		out[i], _ = DPAByteArena(a, i)
+	}
+	return out
+}
+
+// CPAByteArena recovers one key byte by batched Pearson correlation
+// against the HW(SBox(pt^k)) hypothesis — bit-identical to CPAByte on
+// the same recorded traces.
+func CPAByteArena(a *power.Arena, byteIdx int) (byte, float64) {
+	cs := a.ClassSumsFor(byteIdx)
+	bestK, bestC := byte(0), -1.0
+	var hyp [256]int64
+	for k := 0; k < 256; k++ {
+		for v := 0; v < 256; v++ {
+			hyp[v] = sboxHW[v^k]
+		}
+		if c := cs.MaxAbsPearson(&hyp); c > bestC {
+			bestK, bestC = byte(k), c
+		}
+	}
+	return bestK, bestC
+}
+
+// CPAKeyArena recovers all 16 key bytes with the batched distinguisher.
+func CPAKeyArena(a *power.Arena) [16]byte {
+	var out [16]byte
+	for i := 0; i < 16; i++ {
+		out[i], _ = CPAByteArena(a, i)
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package physical
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/intrust-sim/intrust/internal/power"
+)
+
+// collectBoth records the same attack campaign through both capture
+// paths: fresh victims and probes with identical seeds, one shared
+// plaintext stream shape (separate rand.Rand at the same seed).
+func collectBoth(t *testing.T, key []byte, sigma float64, jitter, n int) (*power.TraceSet, *power.Arena) {
+	t.Helper()
+	mkProbe := func() *power.Probe {
+		p := power.PowerProbe(sigma, 7)
+		p.JitterMax = jitter
+		return p
+	}
+	vNaive, err := NewUnprotectedAES(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vArena, err := NewUnprotectedAES(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := CollectTraces(vNaive, mkProbe(), n, rand.New(rand.NewSource(99)))
+	a := power.NewArena(16)
+	CollectArena(a, vArena, mkProbe(), n, rand.New(rand.NewSource(99)))
+	return ts, a
+}
+
+// TestArenaAttackEquivalence pins the full distinguisher stack: the
+// batched arena DPA and CPA return the same recovered byte AND the same
+// statistic bits as the naive reference on the same campaign.
+func TestArenaAttackEquivalence(t *testing.T) {
+	key := []byte("sixteen byte key")
+	for _, tc := range []struct {
+		name   string
+		sigma  float64
+		jitter int
+	}{
+		{"clean", 0.5, 0},
+		{"jitter", 1.0, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ts, a := collectBoth(t, key, tc.sigma, tc.jitter, 300)
+			for _, byteIdx := range []int{0, 7, 15} {
+				nk, nd := DPAByte(ts, byteIdx)
+				ak, ad := DPAByteArena(a, byteIdx)
+				if nk != ak || math.Float64bits(nd) != math.Float64bits(ad) {
+					t.Errorf("DPA byte %d: naive (%#02x, %v) != arena (%#02x, %v)",
+						byteIdx, nk, nd, ak, ad)
+				}
+				nk, nc := CPAByte(ts, byteIdx)
+				ak, ac := CPAByteArena(a, byteIdx)
+				if nk != ak || math.Float64bits(nc) != math.Float64bits(ac) {
+					t.Errorf("CPA byte %d: naive (%#02x, %v) != arena (%#02x, %v)",
+						byteIdx, nk, nc, ak, ac)
+				}
+			}
+		})
+	}
+}
+
+// TestArenaKeyRecovery pins that the batched path actually breaks the
+// unprotected victim — full 16-byte CPA recovery at a realistic budget.
+func TestArenaKeyRecovery(t *testing.T) {
+	key := []byte("sixteen byte key")
+	v, err := NewUnprotectedAES(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := power.NewArena(16)
+	CollectArena(a, v, power.PowerProbe(0.5, 7), 400, rand.New(rand.NewSource(3)))
+	if got := CorrectBytes(CPAKeyArena(a), key); got != 16 {
+		t.Fatalf("arena CPA recovered %d/16 key bytes", got)
+	}
+	if got := CorrectBytes(DPAKeyArena(a), key); got < 12 {
+		t.Fatalf("arena DPA recovered %d/16 key bytes, want >= 12", got)
+	}
+}
+
+// TestExtendArenaZeroAlloc is the alloc-regression pin for the adaptive
+// escalation path: after Grow pre-reserves the backing, an Extend pass —
+// plaintext generation, AES victim, probe noise, quantized capture —
+// touches the heap zero times.
+func TestExtendArenaZeroAlloc(t *testing.T) {
+	v, err := NewUnprotectedAES([]byte("sixteen byte key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := power.PowerProbe(0.8, 7)
+	rng := rand.New(rand.NewSource(5))
+	a := power.NewArena(16)
+
+	const perPass, passes = 32, 20
+	CollectArena(a, v, probe, perPass, rng) // warm victim, probe RNGs, arena
+	a.Grow((passes+2)*perPass, 160)
+
+	allocs := testing.AllocsPerRun(passes, func() {
+		ExtendArena(a, v, probe, perPass, rng)
+	})
+	if allocs != 0 {
+		t.Fatalf("ExtendArena allocated %.1f objects/pass, want 0", allocs)
+	}
+}
+
+// TestArenaAnalysisZeroAlloc pins the regrade path: once the arena's
+// caches exist, a full 256-guess DPA+CPA regrade of one byte does not
+// allocate — the per-checkpoint analysis cost that was triggering GC
+// storms in the adaptive sweep.
+func TestArenaAnalysisZeroAlloc(t *testing.T) {
+	v, err := NewUnprotectedAES([]byte("sixteen byte key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := power.NewArena(16)
+	CollectArena(a, v, power.PowerProbe(0.8, 7), 200, rand.New(rand.NewSource(5)))
+	DPAByteArena(a, 0) // build grouping + scratch
+	CPAByteArena(a, 0) // build column caches + scratch
+
+	allocs := testing.AllocsPerRun(10, func() {
+		DPAByteArena(a, 0)
+		CPAByteArena(a, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("arena regrade allocated %.1f objects/run, want 0", allocs)
+	}
+}

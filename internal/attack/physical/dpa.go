@@ -17,6 +17,12 @@ type AESVictim interface {
 // UnprotectedAES leaks every S-box output of the reference implementation.
 type UnprotectedAES struct {
 	rk softcrypto.RoundKeys
+	// hooks and rec are built once at construction so EncryptTraced stays
+	// allocation-free — the arena collection path pins AllocsPerRun==0
+	// across adaptive Extend passes.
+	hooks *softcrypto.Hooks
+	rec   *power.Recorder
+	st    [16]byte
 }
 
 // NewUnprotectedAES builds the victim.
@@ -25,14 +31,21 @@ func NewUnprotectedAES(key []byte) (*UnprotectedAES, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &UnprotectedAES{rk: rk}, nil
+	u := &UnprotectedAES{rk: rk}
+	u.hooks = &softcrypto.Hooks{SBoxOut: func(round, i int, v byte) {
+		if u.rec != nil {
+			u.rec.Leak(uint32(v))
+		}
+	}}
+	return u, nil
 }
 
 // EncryptTraced implements AESVictim.
 func (u *UnprotectedAES) EncryptTraced(pt []byte, rec *power.Recorder) [16]byte {
-	return softcrypto.Encrypt(&u.rk, pt, &softcrypto.Hooks{
-		SBoxOut: func(round, i int, v byte) { rec.Leak(uint32(v)) },
-	})
+	u.rec = rec
+	defer func() { u.rec = nil }()
+	softcrypto.EncryptTo(&u.st, &u.rk, pt, u.hooks)
+	return u.st
 }
 
 // MaskedAESVictim leaks the masked implementation's intermediates.

@@ -295,6 +295,26 @@ func resolvedKey(ds []defense.Defense) string {
 	return strings.Join(names, "+")
 }
 
+// sweepCost estimates a cell's relative cost for the engine's shard
+// packing: the sample budget (already raised to the scenario's floor)
+// weighted by platform class — a server hierarchy costs several times an
+// embedded one per sample. One-shot scenarios settle in a single mount
+// regardless of budget and cost only the class weight. The estimate
+// shapes scheduling exclusively; results never depend on it.
+func sweepCost(sc scenario.Scenario, arch string, samples int) int {
+	weight := 1
+	switch scenario.ClassOf(arch) {
+	case scenario.ClassServer:
+		weight = 4
+	case scenario.ClassMobile:
+		weight = 2
+	}
+	if scenario.IsOneShot(sc) {
+		return weight
+	}
+	return samples * weight
+}
+
 // sweepExperiment builds the engine job for one (scenario, architecture,
 // defense selection) cell of the grid.
 func sweepExperiment(sc scenario.Scenario, arch string, sel defenseSel, opt SweepOptions) engine.Experiment {
@@ -313,6 +333,7 @@ func sweepExperiment(sc scenario.Scenario, arch string, sel defenseSel, opt Swee
 		Attack:   sc.Family(),
 		Defense:  display,
 		Samples:  samples,
+		Cost:     sweepCost(sc, arch, samples),
 	}
 	// The engine derives the job seed as Seed ^ FNV(Name), and Name ends
 	// in the axis token — so "none" and "stock" cells with identical
@@ -325,6 +346,7 @@ func sweepExperiment(sc scenario.Scenario, arch string, sel defenseSel, opt Swee
 	canonical := fmt.Sprintf("sweep/%s/%s/%s/%s", sc.Family(), sc.Name(), arch, resolvedKey(defs))
 	exp.Seed = engine.DeriveSeed(0, exp.Name) ^ engine.DeriveSeed(0, canonical)
 	naCell := func(reason string) engine.Experiment {
+		exp.Cost = 1
 		exp.Run = func(*engine.Ctx) (engine.Outcome, error) {
 			return engine.Outcome{
 				Rows:    scenario.Cell(sc.Name(), arch, "-", "n/a"),
@@ -348,6 +370,7 @@ func sweepExperiment(sc scenario.Scenario, arch string, sel defenseSel, opt Swee
 			if err != nil {
 				return engine.Outcome{}, err
 			}
+			env.BindScratch(ctx.Scratch)
 			return sc.Mount(env)
 		}
 		return exp
@@ -358,6 +381,7 @@ func sweepExperiment(sc scenario.Scenario, arch string, sel defenseSel, opt Swee
 		if err != nil {
 			return engine.Outcome{}, err
 		}
+		env.BindScratch(ctx.Scratch)
 		return adaptiveCell(sc, env, pol, ctx.Samples)
 	}
 	return exp

@@ -4,12 +4,14 @@
 //
 // An Experiment names one measurement (platform class, architecture,
 // attack family, sample count) and carries a Run closure. The Engine
-// fans a slice of experiments out over GOMAXPROCS workers (or an explicit
-// parallelism), hands every job its own deterministically derived RNG —
+// schedules a slice of experiments over GOMAXPROCS workers (or an
+// explicit parallelism) with sharded work-stealing: jobs group into
+// shards by cost estimate, each worker drains its own deque and steals
+// from the most-loaded peer when it runs dry. Every job gets its own
+// deterministically derived RNG and results commit in submission order —
 // so a sweep produces byte-identical results at -parallel 1 and
-// -parallel N — times each run, aggregates the outcomes in submission
-// order, and renders them either through the existing text tables or as
-// machine-readable JSON (see report.go).
+// -parallel N, at any shard size — and outcomes render either through
+// the existing text tables or as machine-readable JSON (see report.go).
 //
 // Every future scaling direction (sharding experiments across processes,
 // batching trace collection, multi-backend execution) plugs into this
@@ -22,6 +24,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -29,6 +32,23 @@ import (
 
 	"github.com/intrust-sim/intrust/internal/stats"
 )
+
+// gcTuneOnce applies the sweep's GC pacing once per process. The
+// workload is churn-heavy with a small live set: platform-scale buffers
+// are born and die inside one cell, so with the default GOGC=100 the
+// heap goal sits barely above the live set and every worker spends
+// measurable time in mark assists — at high worker counts the assists
+// alone erased the scheduler's gains (GOMAXPROCS=8 ran slower than 1).
+// Raising the target trades bounded peak RSS (hundreds of MB on the
+// full grid) for assist-free throughput at every worker count; it is
+// deliberately process-wide and never restored, because interleaving
+// restores from concurrent Runs would leave the setting at whichever
+// Run exited last.
+var gcTuneOnce sync.Once
+
+func gcTune() {
+	gcTuneOnce.Do(func() { debug.SetGCPercent(300) })
+}
 
 // Experiment is one schedulable unit of measurement.
 type Experiment struct {
@@ -51,6 +71,11 @@ type Experiment struct {
 	// Samples is the sample budget (traces, timings, probe rounds)
 	// handed to the Run closure via Ctx.
 	Samples int `json:"samples,omitempty"`
+	// Cost is the scheduler's relative cost estimate for this job (for
+	// the sweep: the cell's sample floor weighted by architecture).
+	// It only shapes shard packing and steal order — never results.
+	// Zero means "unknown" and schedules as 1.
+	Cost int `json:"cost,omitempty"`
 	// Seed is the base RNG seed; the job seed is Seed XOR FNV(Name).
 	Seed int64 `json:"seed,omitempty"`
 	// Run performs the measurement. It must draw all randomness from
@@ -70,6 +95,36 @@ type Ctx struct {
 	// Seed is the derived per-job seed (for APIs that take a seed
 	// rather than a *rand.Rand, e.g. physical.CLKSCREW).
 	Seed int64
+	// Scratch is the worker-private reuse store: heavy state (platform
+	// hierarchies, trace arenas) that survives from one job to the next
+	// on the same worker. Reuse must be value-invisible — a job must
+	// measure bit-identically with a fresh store — which the determinism
+	// matrix test enforces by sweeping worker counts.
+	Scratch *Scratch
+}
+
+// Scratch is a keyed store of worker-private reusable state. It is not
+// safe for concurrent use; each worker owns exactly one.
+type Scratch struct {
+	vals map[string]any
+}
+
+// NewScratch returns an empty store.
+func NewScratch() *Scratch { return &Scratch{vals: map[string]any{}} }
+
+// Get returns the value stored under key, or nil.
+func (s *Scratch) Get(key string) any {
+	if s == nil {
+		return nil
+	}
+	return s.vals[key]
+}
+
+// Put stores v under key.
+func (s *Scratch) Put(key string, v any) {
+	if s != nil {
+		s.vals[key] = v
+	}
 }
 
 // Outcome is what an Experiment measured.
@@ -115,6 +170,12 @@ func (r *Result) Duration() time.Duration { return time.Duration(r.DurationNS) }
 type Engine struct {
 	// Parallel is the worker count. New clamps it to >= 1.
 	Parallel int
+	// ShardSize is the number of experiments per scheduling shard —
+	// the unit of work-stealing granularity. Smaller shards steal at a
+	// finer grain (better balance, more queue traffic); <= 0 picks a
+	// size that gives each worker a handful of shards. Results are
+	// byte-identical at any shard size.
+	ShardSize int
 }
 
 // New returns an engine with the given parallelism; parallel <= 0 sizes
@@ -135,40 +196,187 @@ func DeriveSeed(base int64, name string) int64 {
 	return base ^ int64(h.Sum64())
 }
 
+// jobCost is an experiment's scheduling weight (Cost, floored to 1).
+func jobCost(exp *Experiment) int64 {
+	if exp.Cost > 0 {
+		return int64(exp.Cost)
+	}
+	return 1
+}
+
+// shardQueue is one worker's deque of shards (each shard a slice of job
+// indices). The owner pops from the front — expensive shards first, and
+// at one worker exactly submission order — while thieves pop from the
+// back, so owner and thieves only collide on the last shard. The pad
+// keeps neighboring queues of the scheduler's contiguous slice on
+// separate cache lines: the remaining-cost counter is written under
+// every pop and was a false-sharing hazard at high worker counts.
+type shardQueue struct {
+	mu     sync.Mutex
+	shards [][]int
+	cost   int64 // summed cost of the queued shards
+	_      [64]byte
+}
+
+func (q *shardQueue) push(shard []int, cost int64) {
+	q.shards = append(q.shards, shard)
+	q.cost += cost
+}
+
+func (q *shardQueue) popFront(costs []int64) []int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.shards) == 0 {
+		return nil
+	}
+	sh := q.shards[0]
+	q.shards = q.shards[1:]
+	q.take(sh, costs)
+	return sh
+}
+
+func (q *shardQueue) popBack(costs []int64) []int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.shards) == 0 {
+		return nil
+	}
+	sh := q.shards[len(q.shards)-1]
+	q.shards = q.shards[:len(q.shards)-1]
+	q.take(sh, costs)
+	return sh
+}
+
+func (q *shardQueue) take(sh []int, costs []int64) {
+	for _, i := range sh {
+		q.cost -= costs[i]
+	}
+}
+
+func (q *shardQueue) remaining() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.cost
+}
+
+// scheduler is the sharded work-stealing run state: per-worker deques
+// seeded by cost-balanced static assignment, rebalanced at runtime by
+// stealing whole shards from the most-loaded victim.
+type scheduler struct {
+	queues []shardQueue
+	costs  []int64
+}
+
+// newScheduler shards the jobs and assigns them to workers. Jobs sort by
+// descending cost (stable, so equal costs keep submission order), chunk
+// into shards of shardSize, and greedy-assign — most expensive shard
+// first, always to the least-loaded worker (LPT). The assignment is a
+// starting point, not a commitment: whatever it gets wrong, stealing
+// repairs at runtime.
+func newScheduler(exps []Experiment, workers, shardSize int) *scheduler {
+	costs := make([]int64, len(exps))
+	order := make([]int, len(exps))
+	for i := range exps {
+		costs[i] = jobCost(&exps[i])
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return costs[order[a]] > costs[order[b]] })
+
+	if shardSize <= 0 {
+		// A handful of shards per worker: enough steal granularity to
+		// level a skewed tail without per-job queue traffic.
+		shardSize = len(exps) / (workers * 4)
+		if shardSize < 1 {
+			shardSize = 1
+		}
+	}
+
+	s := &scheduler{queues: make([]shardQueue, workers), costs: costs}
+	for at := 0; at < len(order); at += shardSize {
+		end := at + shardSize
+		if end > len(order) {
+			end = len(order)
+		}
+		shard := order[at:end:end]
+		var c int64
+		for _, i := range shard {
+			c += costs[i]
+		}
+		least := 0
+		for w := 1; w < workers; w++ {
+			if s.queues[w].cost < s.queues[least].cost {
+				least = w
+			}
+		}
+		s.queues[least].push(shard, c)
+	}
+	return s
+}
+
+// next returns worker self's next shard: its own front, else a shard
+// stolen from the back of the most-loaded victim, else nil (run drained).
+func (s *scheduler) next(self int) []int {
+	if sh := s.queues[self].popFront(s.costs); sh != nil {
+		return sh
+	}
+	for {
+		victim, best := -1, int64(0)
+		for w := range s.queues {
+			if w == self {
+				continue
+			}
+			if c := s.queues[w].remaining(); c > best {
+				victim, best = w, c
+			}
+		}
+		if victim < 0 {
+			return nil
+		}
+		if sh := s.queues[victim].popBack(s.costs); sh != nil {
+			return sh
+		}
+		// Lost the race to the victim's own drain; rescan. Remaining
+		// cost only decreases, so this terminates.
+	}
+}
+
 // Run executes all experiments and returns one Result per experiment, in
-// submission order regardless of completion order. A failing experiment
-// does not abort the others; the aggregate error (nil if none failed)
-// joins every failure in submission order. Context cancellation stops
-// unstarted jobs, marking them with the context error.
+// submission order regardless of completion order. Scheduling is sharded
+// work-stealing: jobs group into shards by cost estimate, each worker
+// drains its own deque and steals from the most-loaded peer when empty.
+// Each worker carries one Scratch store across all jobs it executes. A
+// failing experiment does not abort the others; the aggregate error (nil
+// if none failed) joins every failure in submission order. Context
+// cancellation stops unstarted jobs, marking them with the context error.
 func (e *Engine) Run(ctx context.Context, exps []Experiment) ([]Result, error) {
+	gcTune()
 	results := make([]Result, len(exps))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
 	workers := e.Parallel
 	if workers < 1 {
 		workers = 1
 	}
+	sched := newScheduler(exps, workers, e.ShardSize)
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(self int) {
 			defer wg.Done()
-			for i := range jobs {
-				results[i] = runOne(ctx, exps[i])
+			scratch := NewScratch()
+			for {
+				shard := sched.next(self)
+				if shard == nil {
+					return
+				}
+				for _, i := range shard {
+					if err := ctx.Err(); err != nil {
+						results[i] = Result{Experiment: exps[i], Err: err.Error()}
+						continue
+					}
+					results[i] = runOne(ctx, exps[i], scratch)
+				}
 			}
-		}()
+		}(w)
 	}
-feed:
-	for i := range exps {
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			for j := i; j < len(exps); j++ {
-				results[j] = Result{Experiment: exps[j], Err: ctx.Err().Error()}
-			}
-			break feed
-		}
-	}
-	close(jobs)
 	wg.Wait()
 
 	var failures []string
@@ -189,11 +397,13 @@ feed:
 // Run — the cell-level entry point the serve layer computes individual
 // grid cells through. A RunOne result is bit-identical (modulo wall
 // clock) to the same experiment's result inside a pooled Run.
-func RunOne(ctx context.Context, exp Experiment) Result { return runOne(ctx, exp) }
+func RunOne(ctx context.Context, exp Experiment) Result {
+	return runOne(ctx, exp, NewScratch())
+}
 
 // runOne executes a single experiment with panic confinement, so one
 // misbehaving job reports as a failed Result instead of killing the pool.
-func runOne(ctx context.Context, exp Experiment) (res Result) {
+func runOne(ctx context.Context, exp Experiment, scratch *Scratch) (res Result) {
 	res.Experiment = exp
 	seed := DeriveSeed(exp.Seed, exp.Name)
 	jctx := &Ctx{
@@ -201,6 +411,7 @@ func runOne(ctx context.Context, exp Experiment) (res Result) {
 		RNG:     rand.New(rand.NewSource(seed)),
 		Samples: exp.Samples,
 		Seed:    seed,
+		Scratch: scratch,
 	}
 	start := time.Now()
 	defer func() {
@@ -247,7 +458,12 @@ type Summary struct {
 }
 
 // Summarize aggregates results; wall is the observed end-to-end duration
-// (pass 0 if unknown).
+// (pass 0 if unknown). It is a serial post-pass by design: the pool
+// keeps no shared progress counters for it to read — workers write
+// disjoint results[i] slots and every aggregate here is computed once
+// after the pool drains, so a wide run spends no locks or cross-core
+// cache-line traffic on bookkeeping (the padded shard deques are the
+// dispatch path's only shared mutable state).
 func Summarize(results []Result, wall time.Duration) Summary {
 	s := Summary{Experiments: len(results), Verdicts: map[string]int{}, WallNS: wall.Nanoseconds()}
 	for i := range results {

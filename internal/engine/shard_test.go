@@ -1,0 +1,218 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// skewedExperiments is the steal-heavy fixture: a few giant jobs and a
+// long tail of tiny ones, so the static LPT assignment front-loads the
+// giants and the tail must rebalance by stealing.
+func skewedExperiments(n int) []Experiment {
+	exps := noisyExperiments(n)
+	for i := range exps {
+		switch {
+		case i%17 == 0:
+			exps[i].Cost = 1000
+		case i%5 == 0:
+			exps[i].Cost = 50
+		default:
+			exps[i].Cost = 1
+		}
+	}
+	return exps
+}
+
+// TestDeterministicAcrossShardSizes is the engine half of the
+// determinism matrix: one payload, every (parallel, shard) combination,
+// byte-identical results.
+func TestDeterministicAcrossShardSizes(t *testing.T) {
+	exps := noisyExperiments(48)
+	ref, err := New(1).Run(context.Background(), exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := stripTiming(ref)
+	for _, par := range []int{1, 2, 8} {
+		for _, shard := range []int{1, 4, 64} {
+			e := New(par)
+			e.ShardSize = shard
+			got, err := e.Run(context.Background(), exps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, stripTiming(got)) {
+				t.Errorf("results differ at parallel=%d shard=%d", par, shard)
+			}
+		}
+	}
+}
+
+// TestCostShapesOnlyScheduling pins that Cost is advisory: rewriting
+// every cost estimate must not change a single result byte.
+func TestCostShapesOnlyScheduling(t *testing.T) {
+	flat := noisyExperiments(32)
+	ref, err := New(4).Run(context.Background(), flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed := skewedExperiments(32)
+	got, err := New(4).Run(context.Background(), skewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cost rides in the Experiment header, so strip it alongside timing.
+	strip := func(rs []Result) []Result {
+		out := stripTiming(rs)
+		for i := range out {
+			out[i].Cost = 0
+		}
+		return out
+	}
+	if !reflect.DeepEqual(strip(ref), strip(got)) {
+		t.Error("cost estimates changed experiment results")
+	}
+}
+
+// TestSkewedScheduleRunsEveryJobOnce drives the steal-heavy fixture
+// through a wide pool and checks the scheduling invariant directly:
+// every job executes exactly once, whatever got stolen from where.
+func TestSkewedScheduleRunsEveryJobOnce(t *testing.T) {
+	const n = 97
+	var runs [n]int32
+	exps := skewedExperiments(n)
+	for i := range exps {
+		i := i
+		inner := exps[i].Run
+		exps[i].Run = func(ctx *Ctx) (Outcome, error) {
+			atomic.AddInt32(&runs[i], 1)
+			return inner(ctx)
+		}
+	}
+	for _, shard := range []int{1, 4, 64} {
+		for i := range runs {
+			atomic.StoreInt32(&runs[i], 0)
+		}
+		e := New(8)
+		e.ShardSize = shard
+		if _, err := e.Run(context.Background(), exps); err != nil {
+			t.Fatal(err)
+		}
+		for i := range runs {
+			if got := atomic.LoadInt32(&runs[i]); got != 1 {
+				t.Fatalf("shard=%d: job %d ran %d times, want exactly once", shard, i, got)
+			}
+		}
+	}
+}
+
+// TestSchedulerStealPathDoesNotAllocate is the alloc-regression pin for
+// the scheduler itself: draining a steal-heavy schedule — pops, steals,
+// victim scans — touches the heap zero times after newScheduler builds
+// the deques. GC pressure from the dispatch path was part of the
+// oversubscription regression this scheduler replaces.
+func TestSchedulerStealPathDoesNotAllocate(t *testing.T) {
+	exps := skewedExperiments(256)
+	const runs = 10
+	// Deque construction (sorting, slice growth) happens once per run
+	// and may allocate; build the schedulers up front so the measured
+	// closure is the dispatch hot path alone. AllocsPerRun invokes the
+	// closure runs+1 times (one warm-up).
+	scheds := make([]*scheduler, runs+1)
+	for i := range scheds {
+		scheds[i] = newScheduler(exps, 8, 4)
+	}
+	at := 0
+	allocs := testing.AllocsPerRun(runs, func() {
+		s := scheds[at]
+		at++
+		var drained int
+		for {
+			// Worker 7 owns the least and steals the most: exercise the
+			// victim-scan loop on every shard.
+			sh := s.next(7)
+			if sh == nil {
+				break
+			}
+			drained += len(sh)
+		}
+		if drained != len(exps) {
+			t.Fatalf("drained %d jobs, want %d", drained, len(exps))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("scheduler drain allocated %.1f objects/run, want 0", allocs)
+	}
+}
+
+// TestScratchPersistsAcrossJobsOnAWorker pins the per-worker reuse seam:
+// at parallel=1 every job of a run sees the same Scratch store.
+func TestScratchPersistsAcrossJobsOnAWorker(t *testing.T) {
+	const n = 12
+	var mu sync.Mutex
+	stores := map[*Scratch]int{}
+	exps := make([]Experiment, n)
+	for i := 0; i < n; i++ {
+		exps[i] = Experiment{
+			Name: fmt.Sprintf("scratch-%d", i),
+			Run: func(ctx *Ctx) (Outcome, error) {
+				if ctx.Scratch == nil {
+					t.Error("job ran without a scratch store")
+					return Outcome{}, nil
+				}
+				mu.Lock()
+				stores[ctx.Scratch]++
+				mu.Unlock()
+				ctx.Scratch.Put("warm", true)
+				return Outcome{Verdict: "ok"}, nil
+			},
+		}
+	}
+	if _, err := New(1).Run(context.Background(), exps); err != nil {
+		t.Fatal(err)
+	}
+	if len(stores) != 1 {
+		t.Fatalf("parallel=1 used %d scratch stores, want 1", len(stores))
+	}
+	for s, jobs := range stores {
+		if jobs != n {
+			t.Fatalf("store served %d jobs, want %d", jobs, n)
+		}
+		if s.Get("warm") != true {
+			t.Fatal("scratch lost its stored value")
+		}
+	}
+}
+
+// TestScratchIsWorkerPrivate pins the isolation side: a wide pool never
+// shares one store between workers concurrently — every job observes a
+// store, and distinct workers hold distinct stores (at most one per
+// worker).
+func TestScratchIsWorkerPrivate(t *testing.T) {
+	const n = 64
+	var mu sync.Mutex
+	stores := map[*Scratch]bool{}
+	exps := make([]Experiment, n)
+	for i := 0; i < n; i++ {
+		exps[i] = Experiment{
+			Name: fmt.Sprintf("private-%d", i),
+			Run: func(ctx *Ctx) (Outcome, error) {
+				mu.Lock()
+				stores[ctx.Scratch] = true
+				mu.Unlock()
+				return Outcome{Verdict: "ok"}, nil
+			},
+		}
+	}
+	const workers = 8
+	if _, err := New(workers).Run(context.Background(), exps); err != nil {
+		t.Fatal(err)
+	}
+	if len(stores) == 0 || len(stores) > workers {
+		t.Fatalf("run used %d scratch stores, want 1..%d", len(stores), workers)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"hash"
 )
 
 // meeBlock is the MEE protection granule in bytes (one AES block).
@@ -35,6 +36,22 @@ type MEE struct {
 	macs     [][sha256.Size / 4]byte // truncated 8-byte MACs
 	// IntegrityFailures counts MAC mismatches observed on reads.
 	IntegrityFailures uint64
+
+	// macHash is the keyed HMAC instance, built once and Reset per MAC:
+	// Init alone MACs every block of the protected range, and a fresh
+	// HMAC (two digest states plus key pads) per block made the engine
+	// the sweep's dominant small-object allocator. The engine is
+	// single-threaded like the platform it serves, so one instance and
+	// one Sum buffer suffice.
+	macHash hash.Hash
+	macSum  []byte
+	// Per-access scratch blocks. pad and mac feed these through
+	// interface calls (cipher.Block.Encrypt, hash.Write), so
+	// stack-local arrays escape and the engine heap-allocates on every
+	// protected access; fields reachable from the receiver do not.
+	padIn, padOut [meeBlock]byte
+	macHdr        [12]byte
+	blkCT         [meeBlock]byte
 }
 
 // NewMEE creates an engine over [base, base+size) keyed with key (16 bytes).
@@ -56,6 +73,8 @@ func NewMEE(m *Memory, base, size uint32, key []byte) (*MEE, error) {
 		versions: make([]uint64, size/meeBlock),
 		macs:     make([][8]byte, size/meeBlock),
 	}
+	e.macHash = hmac.New(sha256.New, e.macKey)
+	e.macSum = make([]byte, 0, sha256.Size)
 	return e, nil
 }
 
@@ -80,39 +99,39 @@ func (e *MEE) Init() error {
 }
 
 func (e *MEE) pad(block uint32, version uint64) [meeBlock]byte {
-	var in, out [meeBlock]byte
-	binary.LittleEndian.PutUint32(in[0:], block)
-	binary.LittleEndian.PutUint64(in[8:], version)
-	e.enc.Encrypt(out[:], in[:])
-	return out
+	binary.LittleEndian.PutUint32(e.padIn[0:], block)
+	binary.LittleEndian.PutUint32(e.padIn[4:], 0)
+	binary.LittleEndian.PutUint64(e.padIn[8:], version)
+	e.enc.Encrypt(e.padOut[:], e.padIn[:])
+	return e.padOut
 }
 
 func (e *MEE) mac(block uint32, version uint64, ct []byte) [8]byte {
-	h := hmac.New(sha256.New, e.macKey)
-	var hdr [12]byte
-	binary.LittleEndian.PutUint32(hdr[0:], block)
-	binary.LittleEndian.PutUint64(hdr[4:], version)
-	h.Write(hdr[:])
-	h.Write(ct)
+	e.macHash.Reset()
+	binary.LittleEndian.PutUint32(e.macHdr[0:], block)
+	binary.LittleEndian.PutUint64(e.macHdr[4:], version)
+	e.macHash.Write(e.macHdr[:])
+	e.macHash.Write(ct)
+	e.macSum = e.macHash.Sum(e.macSum[:0])
 	var out [8]byte
-	copy(out[:], h.Sum(nil))
+	copy(out[:], e.macSum)
 	return out
 }
 
 // loadBlock fetches and authenticates block b, returning its plaintext.
 func (e *MEE) loadBlock(b uint32) ([meeBlock]byte, error) {
-	var ct, pt [meeBlock]byte
-	if err := e.mem.ReadRaw(e.Base+b*meeBlock, ct[:]); err != nil {
+	var pt [meeBlock]byte
+	if err := e.mem.ReadRaw(e.Base+b*meeBlock, e.blkCT[:]); err != nil {
 		return pt, err
 	}
-	want := e.mac(b, e.versions[b], ct[:])
+	want := e.mac(b, e.versions[b], e.blkCT[:])
 	if e.macs[b] != want {
 		e.IntegrityFailures++
 		return pt, fmt.Errorf("mem: MEE integrity failure at block %#x (tampering or replay detected)", e.Base+b*meeBlock)
 	}
 	pad := e.pad(b, e.versions[b])
 	for i := range pt {
-		pt[i] = ct[i] ^ pad[i]
+		pt[i] = e.blkCT[i] ^ pad[i]
 	}
 	return pt, nil
 }
@@ -121,12 +140,11 @@ func (e *MEE) loadBlock(b uint32) ([meeBlock]byte, error) {
 func (e *MEE) storeBlock(b uint32, pt []byte) error {
 	e.versions[b]++
 	pad := e.pad(b, e.versions[b])
-	var ct [meeBlock]byte
-	for i := range ct {
-		ct[i] = pt[i] ^ pad[i]
+	for i := range e.blkCT {
+		e.blkCT[i] = pt[i] ^ pad[i]
 	}
-	e.macs[b] = e.mac(b, e.versions[b], ct[:])
-	return e.mem.WriteRaw(e.Base+b*meeBlock, ct[:])
+	e.macs[b] = e.mac(b, e.versions[b], e.blkCT[:])
+	return e.mem.WriteRaw(e.Base+b*meeBlock, e.blkCT[:])
 }
 
 // Read decrypts and returns size bytes at addr.

@@ -15,6 +15,7 @@ package mem
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/intrust-sim/intrust/internal/isa"
 )
@@ -188,6 +189,49 @@ type Memory struct {
 // NewMemory returns an empty physical memory map.
 func NewMemory() *Memory { return &Memory{} }
 
+// backingPools recycles region backings by size. Megabyte-scale RAM
+// backings discarded after every attack run dominate the sweep's
+// allocation volume and, through the heap goal, its GC assist time at
+// high worker counts; recycling keeps that volume off the pacer.
+// Reused backings are re-zeroed on the way out so a pooled region is
+// indistinguishable from a make()-fresh one.
+var backingPools sync.Map // uint32 (size) -> *sync.Pool
+
+// poolMinBacking is the smallest backing worth pooling; below this the
+// sync.Pool round-trip costs more than the allocation it saves.
+const poolMinBacking = 1 << 16
+
+func newBacking(size uint32) []byte {
+	if size < poolMinBacking {
+		return make([]byte, size)
+	}
+	v, _ := backingPools.LoadOrStore(size, &sync.Pool{})
+	if b, ok := v.(*sync.Pool).Get().([]byte); ok {
+		for i := range b {
+			b[i] = 0
+		}
+		return b
+	}
+	return make([]byte, size)
+}
+
+// Release returns every region backing to the package pool and empties
+// the map. It is an explicit end-of-lifetime declaration: the caller
+// asserts nothing else still references this Memory. Accesses after
+// Release fail as unmapped-address bus errors rather than aliasing a
+// future Memory's contents.
+func (m *Memory) Release() {
+	for _, rs := range m.regions {
+		if rs.data == nil || len(rs.data) < poolMinBacking {
+			continue
+		}
+		v, _ := backingPools.LoadOrStore(uint32(len(rs.data)), &sync.Pool{})
+		v.(*sync.Pool).Put(rs.data)
+		rs.data = nil
+	}
+	m.regions = m.regions[:0]
+}
+
 // AddRegion adds a region to the map. Overlapping regions are rejected.
 func (m *Memory) AddRegion(r Region) error {
 	if r.Size == 0 {
@@ -203,7 +247,7 @@ func (m *Memory) AddRegion(r Region) error {
 	}
 	rs := &regionState{Region: r}
 	if r.Kind != RegionMMIO {
-		rs.data = make([]byte, r.Size)
+		rs.data = newBacking(r.Size)
 	}
 	m.regions = append(m.regions, rs)
 	return nil

@@ -26,7 +26,7 @@ type File struct {
 // EnvironmentString names a report's environment the way bench messages
 // print it.
 func (r *Report) EnvironmentString() string {
-	return fmt.Sprintf("%s gomaxprocs=%d parallel=%d", r.GoVersion, r.GOMAXPROCS, r.Parallel)
+	return fmt.Sprintf("%s numcpu=%d gomaxprocs=%d parallel=%d", r.GoVersion, r.NumCPU, r.GOMAXPROCS, r.Parallel)
 }
 
 // ReadBaseline loads a baseline file in either layout: the schema-2

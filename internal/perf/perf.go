@@ -31,8 +31,12 @@ import (
 )
 
 // Schema identifies the report layout; bump it when fields change
-// incompatibly so Compare can refuse mismatched baselines.
-const Schema = 1
+// incompatibly so Compare can refuse mismatched baselines. Schema 2
+// added NumCPU to the environment header: a GOMAXPROCS=8 entry measured
+// on a single physical core (oversubscription) and one measured on
+// eight real cores (parallel scaling) are different experiments, and
+// the scaling gate needs to tell them apart.
+const Schema = 2
 
 // Config names one sweep configuration the bench runs: an axis selection
 // (empty axes mean "all", as in the sweep CLI) at a sample budget, in
@@ -77,8 +81,13 @@ type Result struct {
 // were measured in, the substrate's allocation count, and one Result per
 // configuration.
 type Report struct {
-	Schema          int      `json:"schema"`
-	GoVersion       string   `json:"go_version"`
+	Schema    int    `json:"schema"`
+	GoVersion string `json:"go_version"`
+	// NumCPU is the machine's physical parallelism (runtime.NumCPU),
+	// recorded separately from GOMAXPROCS: an 8-worker run on one core
+	// measures oversubscription overhead, not multi-core scaling, and
+	// the scaling gate calibrates its floor accordingly.
+	NumCPU          int      `json:"numcpu"`
 	GOMAXPROCS      int      `json:"gomaxprocs"`
 	Parallel        int      `json:"parallel"`
 	AllocsPerAccess float64  `json:"allocs_per_access"`
@@ -92,6 +101,7 @@ func Run(parallel int, configs []Config) (*Report, error) {
 	rep := &Report{
 		Schema:          Schema,
 		GoVersion:       runtime.Version(),
+		NumCPU:          runtime.NumCPU(),
 		GOMAXPROCS:      runtime.GOMAXPROCS(0),
 		Parallel:        eng.Parallel,
 		AllocsPerAccess: AllocsPerAccess(),
@@ -159,13 +169,15 @@ func AllocsPerAccess() float64 {
 }
 
 // SameEnvironment reports whether two reports were measured in
-// comparable environments: same Go release, same GOMAXPROCS, same
-// worker-pool size. Cells/sec is hardware-relative, so regressing-gate
-// comparisons are only meaningful between matching environments — the
-// bench CLI downgrades the gate to informational when they differ,
-// instead of failing (or passing) on a hardware change.
+// comparable environments: same Go release, same physical core count,
+// same GOMAXPROCS, same worker-pool size. Cells/sec is
+// hardware-relative, so regressing-gate comparisons are only meaningful
+// between matching environments — the bench CLI downgrades the gate to
+// informational when they differ, instead of failing (or passing) on a
+// hardware change.
 func SameEnvironment(a, b *Report) bool {
-	return a.GoVersion == b.GoVersion && a.GOMAXPROCS == b.GOMAXPROCS && a.Parallel == b.Parallel
+	return a.GoVersion == b.GoVersion && a.NumCPU == b.NumCPU &&
+		a.GOMAXPROCS == b.GOMAXPROCS && a.Parallel == b.Parallel
 }
 
 // Compare checks a current report against the checked-in baseline: every

@@ -97,17 +97,18 @@ func TestCompare(t *testing.T) {
 }
 
 // TestSameEnvironment pins the gate-arming predicate: cells/sec only
-// compares across identical (Go release, GOMAXPROCS, pool size)
-// environments.
+// compares across identical (Go release, core count, GOMAXPROCS, pool
+// size) environments.
 func TestSameEnvironment(t *testing.T) {
-	a := &Report{GoVersion: "go1.24.0", GOMAXPROCS: 1, Parallel: 1}
-	if !SameEnvironment(a, &Report{GoVersion: "go1.24.0", GOMAXPROCS: 1, Parallel: 1}) {
+	a := &Report{GoVersion: "go1.24.0", NumCPU: 1, GOMAXPROCS: 1, Parallel: 1}
+	if !SameEnvironment(a, &Report{GoVersion: "go1.24.0", NumCPU: 1, GOMAXPROCS: 1, Parallel: 1}) {
 		t.Error("identical environments reported as different")
 	}
 	for _, b := range []*Report{
-		{GoVersion: "go1.23.0", GOMAXPROCS: 1, Parallel: 1},
-		{GoVersion: "go1.24.0", GOMAXPROCS: 4, Parallel: 1},
-		{GoVersion: "go1.24.0", GOMAXPROCS: 1, Parallel: 4},
+		{GoVersion: "go1.23.0", NumCPU: 1, GOMAXPROCS: 1, Parallel: 1},
+		{GoVersion: "go1.24.0", NumCPU: 8, GOMAXPROCS: 1, Parallel: 1},
+		{GoVersion: "go1.24.0", NumCPU: 1, GOMAXPROCS: 4, Parallel: 1},
+		{GoVersion: "go1.24.0", NumCPU: 1, GOMAXPROCS: 1, Parallel: 4},
 	} {
 		if SameEnvironment(a, b) {
 			t.Errorf("environment %+v reported as matching %+v", b, a)

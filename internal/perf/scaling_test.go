@@ -1,0 +1,148 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+// shapeFile builds a two-entry artifact for one machine shape with the
+// given per-config serial and wide (GOMAXPROCS=8) throughputs.
+func shapeFile(numCPU int, serial, wide map[string]float64) *File {
+	mk := func(gmp int, cps map[string]float64) *Report {
+		r := &Report{Schema: Schema, GoVersion: "go1.24.0", NumCPU: numCPU, GOMAXPROCS: gmp, Parallel: gmp}
+		for name, v := range cps {
+			r.Configs = append(r.Configs, Result{Name: name, CellsPerSec: v})
+		}
+		return r
+	}
+	var f File
+	f.Upsert(mk(1, serial))
+	f.Upsert(mk(8, wide))
+	return &f
+}
+
+// TestScalingXDerivation pins the metric itself: per-config wide/serial
+// cells-per-second ratios, grouped by machine shape.
+func TestScalingXDerivation(t *testing.T) {
+	f := shapeFile(1,
+		map[string]float64{"fixed": 50, "adaptive": 40, "serial-only": 10},
+		map[string]float64{"fixed": 60, "adaptive": 44, "wide-only": 10})
+	scal, err := f.ScalingX()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scal) != 1 {
+		t.Fatalf("got %d machine shapes, want 1", len(scal))
+	}
+	s := scal[0]
+	if s.GoVersion != "go1.24.0" || s.NumCPU != 1 {
+		t.Errorf("shape = %s numcpu=%d", s.GoVersion, s.NumCPU)
+	}
+	if got := s.Names(); len(got) != 2 || got[0] != "adaptive" || got[1] != "fixed" {
+		t.Fatalf("shared configs = %v, want [adaptive fixed]", got)
+	}
+	if x := s.X["fixed"]; x != 60.0/50.0 {
+		t.Errorf("fixed scaling_x = %v, want 1.2", x)
+	}
+	if x := s.X["adaptive"]; x != 44.0/40.0 {
+		t.Errorf("adaptive scaling_x = %v, want 1.1", x)
+	}
+}
+
+// TestScalingXRequiresThePair pins the loud-disarm property: an
+// artifact missing either side of the 1/8 comparison fails instead of
+// silently passing the gate.
+func TestScalingXRequiresThePair(t *testing.T) {
+	var f File
+	f.Upsert(&Report{Schema: Schema, GoVersion: "go1.24.0", NumCPU: 1, GOMAXPROCS: 1, Parallel: 1,
+		Configs: []Result{{Name: "fixed", CellsPerSec: 50}}})
+	if _, err := f.ScalingX(); err == nil {
+		t.Error("artifact without a GOMAXPROCS=8 entry derived a scaling metric")
+	}
+	// Entries on different machine shapes must not pair up either.
+	f.Upsert(&Report{Schema: Schema, GoVersion: "go1.24.0", NumCPU: 8, GOMAXPROCS: 8, Parallel: 8,
+		Configs: []Result{{Name: "fixed", CellsPerSec: 400}}})
+	if _, err := f.ScalingX(); err == nil {
+		t.Error("a 1-core serial entry paired with an 8-core wide entry")
+	}
+}
+
+// TestScalingFloorByShape pins the calibration: 1-core shapes bound the
+// oversubscription tax at 10% (floor 0.9 — 8 threads on one core
+// cannot beat serial, but they must not collapse); multi-core shapes
+// below 8 must beat serial outright (floor 1.0); real 8-core shapes
+// must earn parallel speedup (floor 1.5).
+func TestScalingFloorByShape(t *testing.T) {
+	one := Scaling{NumCPU: 1}
+	if got := one.Floor(); got != 0.9 {
+		t.Errorf("1-core floor = %v, want 0.9", got)
+	}
+	four := Scaling{NumCPU: 4}
+	if got := four.Floor(); got != 1.0 {
+		t.Errorf("4-core floor = %v, want 1.0", got)
+	}
+	eight := Scaling{NumCPU: 8}
+	if got := eight.Floor(); got != 1.5 {
+		t.Errorf("8-core floor = %v, want 1.5", got)
+	}
+
+	// A 1-core shape collapsing under oversubscription fails...
+	f := shapeFile(1, map[string]float64{"adaptive": 67.4}, map[string]float64{"adaptive": 51.1})
+	scal, err := f.ScalingX()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scal[0].Check(); err == nil {
+		t.Error("the pinned-out oversubscription collapse (0.76x) passed the gate")
+	} else if !strings.Contains(err.Error(), "scaling_x") {
+		t.Errorf("failure does not name the metric: %v", err)
+	}
+	// ...a bounded 4% tax on one core passes...
+	f = shapeFile(1, map[string]float64{"adaptive": 50}, map[string]float64{"adaptive": 48})
+	if scal, err = f.ScalingX(); err != nil {
+		t.Fatal(err)
+	}
+	if err := scal[0].Check(); err != nil {
+		t.Errorf("a 4%% oversubscription tax failed the 1-core floor: %v", err)
+	}
+	// ...and a 1.2x ratio that would pass on 1 core fails on 8 cores.
+	f = shapeFile(8, map[string]float64{"fixed": 50}, map[string]float64{"fixed": 60})
+	if scal, err = f.ScalingX(); err != nil {
+		t.Fatal(err)
+	}
+	if err := scal[0].Check(); err == nil {
+		t.Error("1.2x passed the 1.5x floor on an 8-core shape")
+	}
+
+	// An empty shared-config set is a failure, not a vacuous pass.
+	empty := Scaling{GoVersion: "go1.24.0", NumCPU: 1, X: map[string]float64{}}
+	if err := empty.Check(); err == nil {
+		t.Error("empty metric passed")
+	}
+}
+
+// TestCheckedInScalingGate is the CI gate on the committed artifact:
+// BENCH_sweep.json must carry the GOMAXPROCS=1/8 pair for at least one
+// machine shape, and on every shape the wide entry must hold the
+// shape's floor over the serial entry for every configuration. This is
+// what makes the multi-core claim a regression test instead of a
+// comment: the artifact cannot be refreshed into a state where the
+// 8-worker sweep falls below its machine shape's floor.
+func TestCheckedInScalingGate(t *testing.T) {
+	f, err := ReadBaseline("../../BENCH_sweep.json")
+	if err != nil {
+		t.Fatalf("checked-in artifact unreadable: %v", err)
+	}
+	scal, err := f.ScalingX()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scal {
+		for _, name := range s.Names() {
+			t.Logf("%s numcpu=%d %s: scaling_x %.3f (floor %.2f)", s.GoVersion, s.NumCPU, name, s.X[name], s.Floor())
+		}
+		if err := s.Check(); err != nil {
+			t.Error(err)
+		}
+	}
+}

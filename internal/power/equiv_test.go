@@ -1,0 +1,282 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The kernel-equivalence property layer: the batched int16-arena kernels
+// must be BIT-identical to the retained naive float64 reference on
+// randomized trace sets. Both recording paths quantize at capture (the
+// ADC model), Scale is a power of two, and every arena sum is exact in
+// int64 — so the equivalence is exact, not approximate, and these tests
+// compare math.Float64bits, not a tolerance.
+
+// recordPair records the same randomized traces through both paths:
+// the naive TraceSet via NewRecorder and the Arena via BeginTrace.
+// Separate probes with identical seeds keep the noise and jitter streams
+// aligned.
+func recordPair(seed int64, nTraces, leaksPer, jitterMax int, sigma float64) (*TraceSet, *Arena) {
+	mk := func() *Probe {
+		p := PowerProbe(sigma, seed)
+		p.JitterMax = jitterMax
+		return p
+	}
+	pNaive, pArena := mk(), mk()
+
+	ts := &TraceSet{}
+	a := NewArena(16)
+
+	// One value stream drives both recordings.
+	vrng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	for i := 0; i < nTraces; i++ {
+		input := make([]byte, 16)
+		vrng.Read(input)
+		vals := make([]uint32, leaksPer)
+		for j := range vals {
+			vals[j] = vrng.Uint32()
+		}
+
+		rec := NewRecorder(pNaive)
+		for _, v := range vals {
+			rec.Leak(v)
+		}
+		ts.Add(rec.Samples, input)
+
+		arec := a.BeginTrace(pArena)
+		for _, v := range vals {
+			arec.Leak(v)
+		}
+		a.EndTrace(input)
+	}
+	return ts, a
+}
+
+// eqBits fails unless got and want are the same float64 bit pattern.
+func eqBits(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("%s: arena %v (%#x) != naive %v (%#x)",
+			what, got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+}
+
+// TestArenaRecordingMatchesNaive pins the capture front-ends: the
+// dequantized arena samples equal the naive recorder's samples exactly,
+// trace by trace, including ragged jitter lengths.
+func TestArenaRecordingMatchesNaive(t *testing.T) {
+	for _, jitter := range []int{0, 3} {
+		ts, a := recordPair(41, 17, 25, jitter, 0.8)
+		if a.Len() != ts.Len() {
+			t.Fatalf("jitter=%d: arena %d traces, naive %d", jitter, a.Len(), ts.Len())
+		}
+		if a.Points() != ts.Points() {
+			t.Fatalf("jitter=%d: arena %d points, naive %d", jitter, a.Points(), ts.Points())
+		}
+		for i := 0; i < a.Len(); i++ {
+			qtr, ftr := a.Trace(i), ts.Traces[i]
+			if len(qtr) != len(ftr) {
+				t.Fatalf("jitter=%d trace %d: arena len %d, naive len %d", jitter, i, len(qtr), len(ftr))
+			}
+			for j, q := range qtr {
+				if math.Float64bits(Dequant(q)) != math.Float64bits(ftr[j]) {
+					t.Fatalf("jitter=%d trace %d sample %d: dequant %v != naive %v",
+						jitter, i, j, Dequant(q), ftr[j])
+				}
+			}
+			if string(a.Input(i)) != string(ts.Inputs[i]) {
+				t.Fatalf("jitter=%d trace %d: inputs differ", jitter, i)
+			}
+		}
+	}
+}
+
+// TestDifferenceOfMeansEquivalence is the DPA-kernel property test:
+// randomized trace sets, randomized selected-class sets, both partition
+// shapes and both jitter regimes — batched result bit-identical to the
+// naive grouped float64 reference.
+func TestDifferenceOfMeansEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		seed    int64
+		traces  int
+		jitter  int
+		sigma   float64
+		byteIdx int
+	}{
+		{"small", 1, 8, 0, 0.5, 0},
+		{"noisy", 2, 200, 0, 2.0, 3},
+		{"jitter", 3, 120, 4, 1.0, 7},
+		{"noiseless", 4, 64, 0, 0, 15},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ts, a := recordPair(tc.seed, tc.traces, 30, tc.jitter, tc.sigma)
+			ncs := ts.ClassSums(func(i int) uint8 { return ts.Inputs[i][tc.byteIdx] })
+			qcs := a.ClassSumsFor(tc.byteIdx)
+
+			srng := rand.New(rand.NewSource(tc.seed * 7))
+			var sel [256]bool
+			for trial := 0; trial < 64; trial++ {
+				for v := range sel {
+					sel[v] = srng.Intn(2) == 1
+				}
+				got := qcs.DifferenceOfMeans(&sel)
+				want := ncs.DifferenceOfMeans(func(v uint8) bool { return sel[v] })
+				eqBits(t, "DifferenceOfMeans", got, want)
+			}
+
+			// Degenerate partitions: empty and full selections are 0 on
+			// both paths.
+			for v := range sel {
+				sel[v] = false
+			}
+			eqBits(t, "empty selection", qcs.DifferenceOfMeans(&sel), 0)
+			for v := range sel {
+				sel[v] = true
+			}
+			eqBits(t, "full selection", qcs.DifferenceOfMeans(&sel), 0)
+		})
+	}
+}
+
+// TestMaxAbsPearsonEquivalence is the CPA-kernel property test:
+// randomized trace sets and randomized per-class integer hypotheses —
+// batched class-collapsed Pearson bit-identical to the naive per-trace
+// float64 reference.
+func TestMaxAbsPearsonEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		seed   int64
+		traces int
+		jitter int
+		sigma  float64
+	}{
+		{"small", 11, 8, 0, 0.5},
+		{"noisy", 12, 200, 0, 2.0},
+		{"jitter", 13, 120, 4, 1.0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ts, a := recordPair(tc.seed, tc.traces, 30, tc.jitter, tc.sigma)
+			const byteIdx = 5
+			qcs := a.ClassSumsFor(byteIdx)
+
+			hrng := rand.New(rand.NewSource(tc.seed * 13))
+			h := make([]float64, ts.Len())
+			var hyp [256]int64
+			for trial := 0; trial < 32; trial++ {
+				for v := range hyp {
+					hyp[v] = int64(hrng.Intn(9)) // HW-like range 0..8
+				}
+				for i := range h {
+					h[i] = float64(hyp[ts.Inputs[i][byteIdx]])
+				}
+				got := qcs.MaxAbsPearson(&hyp)
+				want := ts.MaxAbsPearson(h)
+				eqBits(t, "MaxAbsPearson", got, want)
+			}
+		})
+	}
+}
+
+// TestEquivalenceAcrossExtend pins the adaptive-escalation shape: record,
+// analyse, extend the same sets, analyse again — the arena's invalidated
+// caches must rebuild to bit-identical statistics at every checkpoint.
+func TestEquivalenceAcrossExtend(t *testing.T) {
+	mk := func() *Probe {
+		p := PowerProbe(1.2, 99)
+		p.JitterMax = 2
+		return p
+	}
+	pNaive, pArena := mk(), mk()
+	ts := &TraceSet{}
+	a := NewArena(16)
+	vrng := rand.New(rand.NewSource(991))
+
+	var sel [256]bool
+	var hyp [256]int64
+	srng := rand.New(rand.NewSource(992))
+	for v := 0; v < 256; v++ {
+		sel[v] = srng.Intn(2) == 1
+		hyp[v] = int64(srng.Intn(9))
+	}
+	h := make([]float64, 0, 120)
+
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < 40; i++ {
+			input := make([]byte, 16)
+			vrng.Read(input)
+			vals := make([]uint32, 20)
+			for j := range vals {
+				vals[j] = vrng.Uint32()
+			}
+			rec := NewRecorder(pNaive)
+			for _, v := range vals {
+				rec.Leak(v)
+			}
+			ts.Add(rec.Samples, input)
+			arec := a.BeginTrace(pArena)
+			for _, v := range vals {
+				arec.Leak(v)
+			}
+			a.EndTrace(input)
+		}
+
+		const byteIdx = 2
+		ncs := ts.ClassSums(func(i int) uint8 { return ts.Inputs[i][byteIdx] })
+		qcs := a.ClassSumsFor(byteIdx)
+		eqBits(t, "DifferenceOfMeans after extend",
+			qcs.DifferenceOfMeans(&sel), ncs.DifferenceOfMeans(func(v uint8) bool { return sel[v] }))
+
+		h = h[:ts.Len()]
+		for i := range h {
+			h[i] = float64(hyp[ts.Inputs[i][byteIdx]])
+		}
+		eqBits(t, "MaxAbsPearson after extend",
+			qcs.MaxAbsPearson(&hyp), ts.MaxAbsPearson(h))
+	}
+}
+
+// TestTinySets pins the n<2 guards on both kernels.
+func TestTinySets(t *testing.T) {
+	a := NewArena(16)
+	var hyp [256]int64
+	hyp[0] = 1
+	cs := a.ClassSumsFor(0)
+	if got := cs.MaxAbsPearson(&hyp); got != 0 {
+		t.Errorf("empty arena Pearson = %v, want 0", got)
+	}
+	var sel [256]bool
+	sel[0] = true
+	if got := cs.DifferenceOfMeans(&sel); got != 0 {
+		t.Errorf("empty arena DoM = %v, want 0", got)
+	}
+}
+
+// TestQuantizeGrid pins the ADC model: round-to-nearest on the 1/Scale
+// grid, exact dequantization, saturating rails.
+func TestQuantizeGrid(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want int16
+	}{
+		{0, 0},
+		{1, Scale},
+		{-1, -Scale},
+		{1.0 / (2 * Scale), 1}, // half a step rounds away from zero
+		{1e9, maxQ},
+		{-1e9, -maxQ},
+	} {
+		if got := Quantize(tc.in); got != tc.want {
+			t.Errorf("Quantize(%v) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	// Dequantization is exact: quantizing a dequantized value is identity.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		q := int16(rng.Intn(2*maxQ+1) - maxQ)
+		if got := Quantize(Dequant(q)); got != q {
+			t.Fatalf("Quantize(Dequant(%d)) = %d", q, got)
+		}
+	}
+}

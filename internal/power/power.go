@@ -92,19 +92,43 @@ func EMProbe(sigma float64, seed int64) *Probe {
 	return &Probe{Model: ModelHW, Gain: 0.6, Noise: NewNoise(sigma*1.8, seed)}
 }
 
-// Recorder captures one trace: a sequence of leakage samples.
+// Recorder captures one trace: a sequence of leakage samples, quantized
+// onto the acquisition ADC's grid (see Quantize). A Recorder either owns
+// its Samples slice (NewRecorder — the naive float64 path) or streams
+// int16 steps into an Arena's contiguous backing (Arena.BeginTrace);
+// both record bit-identical values, which is what lets the batched
+// integer kernels and the naive float64 reference agree exactly.
 type Recorder struct {
 	Probe   *Probe
 	Samples []float64
 	prev    uint32
+	arena   *Arena
+}
+
+// newJitterRNG seeds the probe's hiding-jitter stream; NewRecorder and
+// Arena.BeginTrace share it so both recording paths draw identical
+// jitter.
+func newJitterRNG(p *Probe) *rand.Rand {
+	return rand.New(rand.NewSource(0x7ace + int64(p.JitterMax)))
 }
 
 // NewRecorder starts a trace on the given probe.
 func NewRecorder(p *Probe) *Recorder {
 	if p.jrng == nil {
-		p.jrng = rand.New(rand.NewSource(0x7ace + int64(p.JitterMax)))
+		p.jrng = newJitterRNG(p)
 	}
 	return &Recorder{Probe: p}
+}
+
+// record appends one quantized sample to whichever backing the recorder
+// targets.
+func (r *Recorder) record(x float64) {
+	q := Quantize(x)
+	if r.arena != nil {
+		r.arena.qs = append(r.arena.qs, q)
+		return
+	}
+	r.Samples = append(r.Samples, Dequant(q))
 }
 
 // Leak records the leakage of one intermediate value.
@@ -112,7 +136,7 @@ func (r *Recorder) Leak(v uint32) {
 	p := r.Probe
 	if p.JitterMax > 0 {
 		for i, n := 0, p.jrng.Intn(p.JitterMax+1); i < n; i++ {
-			r.Samples = append(r.Samples, p.Noise.Sample())
+			r.record(p.Noise.Sample())
 		}
 	}
 	var sig float64
@@ -125,7 +149,7 @@ func (r *Recorder) Leak(v uint32) {
 		sig = HW(v)
 	}
 	r.prev = v
-	r.Samples = append(r.Samples, sig*p.Gain+p.Noise.Sample())
+	r.record(sig*p.Gain + p.Noise.Sample())
 }
 
 // Trace is one captured measurement.

@@ -114,6 +114,14 @@ type Env struct {
 	// Batch shares the pointer, so every pass of one cell reuses one
 	// platform; distinct cells (distinct Envs) never share.
 	pool *platformPool
+
+	// scratch, when bound, widens reuse from per-cell to per-worker:
+	// NewPlatform pools platforms by class and TraceArena pools the
+	// power-trace arena across every cell the worker executes. Reuse is
+	// value-invisible (platform.Reset is pinned ≡ fresh; the arena is
+	// Reset per cell), so a cell measures bit-identically with or
+	// without a bound scratch — the determinism matrix test enforces it.
+	scratch *engine.Scratch
 }
 
 // platformPool holds one reusable platform per cell. NewPlatform resets
@@ -185,6 +193,27 @@ func (e *Env) Batch(i, budget int) *Env {
 	return &b
 }
 
+// BindScratch attaches the executing worker's scratch store, enabling
+// cross-cell reuse of platforms and trace arenas. The sweep binds it
+// from engine.Ctx; scenarios mounted without one (tests, the serve
+// layer's RunOne cells) keep the per-cell pool behavior.
+func (e *Env) BindScratch(s *engine.Scratch) { e.scratch = s }
+
+// TraceArena returns the power-trace arena for this cell, reset empty.
+// With a bound scratch the arena is worker-pooled: its quantized-sample
+// backing, class-sum caches and input store persist from cell to cell,
+// so steady-state trace collection and analysis never touch the heap.
+func (e *Env) TraceArena() *power.Arena {
+	const key = "scenario/power/arena"
+	if a, ok := e.scratch.Get(key).(*power.Arena); ok {
+		a.Reset()
+		return a
+	}
+	a := power.NewArena(16)
+	e.scratch.Put(key, a)
+	return a
+}
+
 // DefenseConfig exposes the cell's resolved defense wiring — the knob set
 // scenarios consult when a mitigation lives in victim construction or
 // attack parameters rather than platform assembly.
@@ -231,10 +260,12 @@ func (e *Env) Features() cpu.Features {
 // which shares the pool) reset the pooled instance back to its as-built
 // microarchitectural state and re-apply the same configuration, which
 // measures bit-identically to a fresh assembly without re-deriving the
-// whole hierarchy.
+// whole hierarchy. With a bound scratch the pool widens to the worker:
+// platforms key by class, so consecutive cells of the same class on one
+// worker share a hierarchy across the whole sweep (Reset ≡ fresh is
+// what makes that value-invisible).
 func (e *Env) NewPlatform() *platform.Platform {
-	if e.pool != nil && e.pool.p != nil {
-		p := e.pool.p
+	if p := e.pooledPlatform(); p != nil {
 		p.Reset()
 		e.cfg.Apply(p)
 		return p
@@ -249,10 +280,32 @@ func (e *Env) NewPlatform() *platform.Platform {
 		p = platform.NewEmbedded()
 	}
 	e.cfg.Apply(p)
+	e.storePlatform(p)
+	return p
+}
+
+// pooledPlatform returns the reusable platform for this cell, preferring
+// the worker-scratch pool (keyed by class) over the per-cell pool.
+func (e *Env) pooledPlatform() *platform.Platform {
+	if p, ok := e.scratch.Get("scenario/platform/" + e.Class).(*platform.Platform); ok {
+		return p
+	}
+	if e.pool != nil {
+		return e.pool.p
+	}
+	return nil
+}
+
+// storePlatform records a freshly assembled platform in whichever pool
+// is in effect.
+func (e *Env) storePlatform(p *platform.Platform) {
+	if e.scratch != nil {
+		e.scratch.Put("scenario/platform/"+e.Class, p)
+		return
+	}
 	if e.pool != nil {
 		e.pool.p = p
 	}
-	return p
 }
 
 // AESVictim places the standard AES victim on the platform (at

@@ -59,26 +59,47 @@ func KocherRecovers(collect func(exp, mod *big.Int, n int, rng *rand.Rand) []phy
 	return rec.Cmp(exp) == 0
 }
 
+// aesTracePoints is the per-trace sample count of the AES victims (160
+// S-box leaks), used to pre-reserve arena capacity; jitter can push a
+// trace past it, which only costs one backing growth.
+const aesTracePoints = 160
+
+// collectTraces runs a fixed-budget power-trace campaign on the cell's
+// arena: collect env.Samples traces, analyze with the batched kernels.
+func collectTraces(env *Env, sigma float64, analyze func(*power.Arena) [16]byte) (got int, err error) {
+	v, err := env.PowerAESVictim()
+	if err != nil {
+		return 0, err
+	}
+	a := env.TraceArena()
+	a.Grow(env.Samples, aesTracePoints)
+	physical.CollectArena(a, v, env.PowerProbe(sigma, 1), env.Samples, env.RNG)
+	return physical.CorrectBytes(analyze(a), VictimKey()), nil
+}
+
 // seqTraces drives a cumulative power-trace attack (DPA, CPA) through
-// the plan's checkpoint ladder: extend one trace set, regrade the
+// the plan's checkpoint ladder: extend one trace arena, regrade the
 // recovered key bytes, stop on a full (>= 14/16) recovery. A pass that
-// drains the plan has collected exactly the fixed-budget trace set.
-func seqTraces(env *Env, plan *stats.Plan, sigma float64, analyze func(*power.TraceSet) [16]byte) (got, traces int, err error) {
+// drains the plan has collected exactly the fixed-budget trace set. The
+// arena is worker-pooled scratch, so escalation passes extend and
+// regrade without allocating.
+func seqTraces(env *Env, plan *stats.Plan, sigma float64, analyze func(*power.Arena) [16]byte) (got, traces int, err error) {
 	v, err := env.PowerAESVictim()
 	if err != nil {
 		return 0, 0, err
 	}
 	probe := env.PowerProbe(sigma, 1)
-	ts := &power.TraceSet{}
+	a := env.TraceArena()
 	done := 0
 	for {
 		n, ok := plan.Next()
 		if !ok {
 			break
 		}
-		physical.ExtendTraces(ts, v, probe, n-done, env.RNG)
+		a.Grow(n-done, aesTracePoints)
+		physical.ExtendArena(a, v, probe, n-done, env.RNG)
 		done = n
-		got = physical.CorrectBytes(analyze(ts), VictimKey())
+		got = physical.CorrectBytes(analyze(a), VictimKey())
 		plan.Grade(got >= 14)
 	}
 	return got, done, nil
@@ -131,12 +152,10 @@ func physicalScenarios() []Scenario {
 				// masked-aes and clock-jitter (§5) act here: the victim may
 				// be first-order masked, and the probe may carry hiding
 				// jitter.
-				v, err := env.PowerAESVictim()
+				got, err := collectTraces(env, 0.5, physical.DPAKeyArena)
 				if err != nil {
 					return Outcome{}, err
 				}
-				ts := physical.CollectTraces(v, env.PowerProbe(0.5, 1), env.Samples, env.RNG)
-				got := physical.CorrectBytes(physical.DPAKey(ts), VictimKey())
 				return Outcome{
 					Rows:    Cell("dpa", env.Arch, fmt.Sprintf("%d/16 key bytes @ %d traces", got, env.Samples), LeakIf(got >= 14)),
 					Metrics: map[string]float64{"key_bytes": float64(got)},
@@ -145,7 +164,7 @@ func physicalScenarios() []Scenario {
 				}, nil
 			},
 			RunSeq: func(env *Env, plan *stats.Plan) (Outcome, error) {
-				got, traces, err := seqTraces(env, plan, 0.5, physical.DPAKey)
+				got, traces, err := seqTraces(env, plan, 0.5, physical.DPAKeyArena)
 				if err != nil {
 					return Outcome{}, err
 				}
@@ -163,12 +182,10 @@ func physicalScenarios() []Scenario {
 			Run: func(env *Env) (Outcome, error) {
 				// Same countermeasure seams as dpa: masked victim and/or
 				// jittered traces.
-				v, err := env.PowerAESVictim()
+				got, err := collectTraces(env, 0.8, physical.CPAKeyArena)
 				if err != nil {
 					return Outcome{}, err
 				}
-				ts := physical.CollectTraces(v, env.PowerProbe(0.8, 1), env.Samples, env.RNG)
-				got := physical.CorrectBytes(physical.CPAKey(ts), VictimKey())
 				return Outcome{
 					Rows:    Cell("cpa", env.Arch, fmt.Sprintf("%d/16 key bytes @ %d traces", got, env.Samples), LeakIf(got >= 14)),
 					Metrics: map[string]float64{"key_bytes": float64(got)},
@@ -177,7 +194,7 @@ func physicalScenarios() []Scenario {
 				}, nil
 			},
 			RunSeq: func(env *Env, plan *stats.Plan) (Outcome, error) {
-				got, traces, err := seqTraces(env, plan, 0.8, physical.CPAKey)
+				got, traces, err := seqTraces(env, plan, 0.8, physical.CPAKeyArena)
 				if err != nil {
 					return Outcome{}, err
 				}

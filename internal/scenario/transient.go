@@ -139,6 +139,11 @@ func transientScenarios() []Scenario {
 				if err != nil {
 					return Outcome{}, err
 				}
+				// The SGX instance is rebuilt per pass (its MEE key and
+				// quoting identity come from crypto/rand, so it cannot be
+				// pooled); release the server DRAM backing once the attack
+				// result — which only copies bytes out — is in hand.
+				defer s.Platform().Mem.Release()
 				r, err := transient.ForeshadowSGX(s, len(sweepSecret), false)
 				if err != nil {
 					return Outcome{}, err

@@ -120,24 +120,32 @@ func mixColumns(s *[16]byte) {
 // pt and the returned ciphertext are 16 bytes.
 func Encrypt(rk *RoundKeys, pt []byte, h *Hooks) [16]byte {
 	var s [16]byte
+	EncryptTo(&s, rk, pt, h)
+	return s
+}
+
+// EncryptTo is Encrypt with a caller-supplied state buffer, which doubles
+// as the ciphertext output. Because hooks see &s, a per-call state array
+// always escapes to the heap; trace-capture loops that encrypt thousands
+// of blocks reuse one buffer and stay allocation-free.
+func EncryptTo(s *[16]byte, rk *RoundKeys, pt []byte, h *Hooks) {
 	copy(s[:], pt)
-	addRoundKey(&s, &rk[0])
+	addRoundKey(s, &rk[0])
 	for round := 1; round <= 9; round++ {
 		if h != nil && h.RoundIn != nil {
-			h.RoundIn(round, &s)
+			h.RoundIn(round, s)
 		}
-		subBytes(&s, round, h)
-		shiftRows(&s)
-		mixColumns(&s)
-		addRoundKey(&s, &rk[round])
+		subBytes(s, round, h)
+		shiftRows(s)
+		mixColumns(s)
+		addRoundKey(s, &rk[round])
 	}
 	if h != nil && h.RoundIn != nil {
-		h.RoundIn(10, &s)
+		h.RoundIn(10, s)
 	}
-	subBytes(&s, 10, h)
-	shiftRows(&s)
-	addRoundKey(&s, &rk[10])
-	return s
+	subBytes(s, 10, h)
+	shiftRows(s)
+	addRoundKey(s, &rk[10])
 }
 
 // ShiftRowsIndex returns the output byte position that round-10-input

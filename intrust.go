@@ -376,18 +376,23 @@ var (
 	DefenseCatalogMarkdown = defense.CatalogMarkdown
 )
 
-// Concurrent experiment engine: composable experiments on a worker pool
-// with deterministic per-job seeding and JSON reporting.
+// Concurrent experiment engine: composable experiments on a sharded
+// work-stealing worker pool with deterministic per-job seeding and JSON
+// reporting — results are byte-identical at every pool and shard size.
 type (
 	// Experiment is one schedulable measurement unit.
 	Experiment = engine.Experiment
-	// ExperimentCtx is the per-job context (RNG, samples, seed).
+	// ExperimentCtx is the per-job context (RNG, samples, seed, scratch).
 	ExperimentCtx = engine.Ctx
 	// ExperimentOutcome is what an experiment measured.
 	ExperimentOutcome = engine.Outcome
 	// ExperimentResult pairs an experiment with outcome, timing, error.
 	ExperimentResult = engine.Result
-	// Engine executes experiments on a bounded worker pool.
+	// ExperimentScratch is the per-worker reuse store jobs see on their
+	// Ctx: reusable substrate banked across the jobs one worker runs.
+	ExperimentScratch = engine.Scratch
+	// Engine executes experiments on a bounded work-stealing pool
+	// (ShardSize sets the steal granularity; results never depend on it).
 	Engine = engine.Engine
 	// EngineReport is the machine-readable artifact of a run.
 	EngineReport = engine.Report
