@@ -6,8 +6,8 @@
 // Usage:
 //
 //	intrust [-quick] [fig1|arch|cachesca|transient|physical|all]
-//	intrust sweep [-arch a,b|all] [-attack scenario|family,...|all] [-defense none|stock|name,...|all] [-samples N] [-confidence C] [-maxsamples N] [-parallel N] [-shard N] [-json] [-diff] [-cpuprofile f] [-memprofile f] [-mutexprofile f]
-//	intrust serve [-addr :8089] [-cache N] [-maxinflight N] [-queue N] [-seed N] [-drain 30s]
+//	intrust sweep [-arch a,b|all] [-attack scenario|family,...|all] [-defense none|stock|name,...|all] [-samples N] [-confidence C] [-maxsamples N] [-parallel N] [-shard N] [-json] [-diff] [-resume dir] [-cache-secret s] [-cpuprofile f] [-memprofile f] [-mutexprofile f]
+//	intrust serve [-addr :8089] [-cache N] [-cache-bytes N] [-cache-dir d] [-cache-secret s] [-warm] [-maxinflight N] [-queue N] [-seed N] [-drain 30s]
 //	intrust attacks [-family f] [-markdown] [-o file]
 //	intrust defenses [-family f] [-markdown] [-o file]
 //	intrust bench [-o BENCH_sweep.json] [-baseline file] [-maxregress 0.25] [-parallel N] [-gomaxprocs N]
@@ -74,6 +74,7 @@ import (
 
 	"github.com/intrust-sim/intrust/internal/core"
 	"github.com/intrust-sim/intrust/internal/defense"
+	"github.com/intrust-sim/intrust/internal/diskcache"
 	"github.com/intrust-sim/intrust/internal/engine"
 	"github.com/intrust-sim/intrust/internal/perf"
 	"github.com/intrust-sim/intrust/internal/scenario"
@@ -257,6 +258,8 @@ func runSweep(args []string) int {
 	shard := fs.Int("shard", 0, "jobs per work-stealing shard (0 = auto); results are identical at every value")
 	jsonOut := fs.Bool("json", false, "emit the machine-readable engine report instead of the text table")
 	diff := fs.Bool("diff", false, "also report which cells each defense flips versus the none baseline (adds none to the axis)")
+	resumeDir := fs.String("resume", "", "incremental sweep: persist cell results under this directory and recompute only changed cells on re-runs")
+	resumeSecret := fs.String("cache-secret", "", "secret keying the -resume directory's authenticated envelopes")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile (after the sweep) to this file")
 	mutexProfile := fs.String("mutexprofile", "", "write a pprof mutex-contention profile of the sweep to this file")
@@ -332,19 +335,41 @@ func runSweep(args []string) int {
 		fmt.Fprintln(os.Stderr, "sweep: -confidence must be in [0.5,1), or 0 to disable adaptive sampling")
 		return 2
 	}
-	opt := core.SweepOptions{Samples: *samples}
-	if *confidence > 0 {
-		opt.Adaptive = &stats.Policy{Confidence: *confidence, MaxSamples: *maxSamples}
-	}
-	exps, err := core.SweepExperimentsWith(splitList(*archFlag), splitList(*attackFlag), defenses, opt)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-		return 2
-	}
 	eng := engine.New(*parallel)
 	eng.ShardSize = *shard
+	var results []engine.Result
+	var runErr error
 	start := time.Now()
-	results, runErr := eng.Run(context.Background(), exps)
+	if *resumeDir != "" {
+		// Incremental path: the grid enumerates through the same
+		// canonical cell keys, reuses every authenticated on-disk
+		// result, and computes only the cells whose inputs changed.
+		store, err := diskcache.Open(*resumeDir, *resumeSecret)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			return 1
+		}
+		copt := core.CellOptions{Samples: *samples, Confidence: *confidence, MaxSamples: *maxSamples}
+		var sum core.ResumeSummary
+		results, sum, runErr = core.SweepResume(context.Background(), store, eng, splitList(*archFlag), splitList(*attackFlag), defenses, copt)
+		if results == nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", runErr)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "[resume %s: %d cells — %d reused, %d computed (%d new, %d changed, %d invalid)]\n",
+			*resumeDir, sum.Cells, sum.Reused, sum.Computed, sum.New, sum.Changed, sum.Invalid)
+	} else {
+		opt := core.SweepOptions{Samples: *samples}
+		if *confidence > 0 {
+			opt.Adaptive = &stats.Policy{Confidence: *confidence, MaxSamples: *maxSamples}
+		}
+		exps, err := core.SweepExperimentsWith(splitList(*archFlag), splitList(*attackFlag), defenses, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			return 2
+		}
+		results, runErr = eng.Run(context.Background(), exps)
+	}
 	wall := time.Since(start)
 	if *jsonOut {
 		rep := engine.NewReport("intrust sweep", eng.Parallel, results, wall)
@@ -385,26 +410,55 @@ func runServe(args []string) int {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8089", "listen address")
 	cacheN := fs.Int("cache", 4096, "content-addressed result cache bound (entries, LRU)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "result cache byte bound alongside the entry bound (0 = 256 MiB)")
+	cacheDir := fs.String("cache-dir", "", "persistent result-cache directory (tamper-evident, survives restarts); empty disables the disk tier")
+	cacheSecret := fs.String("cache-secret", "", "secret keying the disk tier's authenticated envelopes (share it across processes sharing -cache-dir)")
+	warm := fs.Bool("warm", false, "precompute the canonical none+stock grid into the cache tiers at boot (in the background)")
 	maxInFlight := fs.Int("maxinflight", 0, "concurrently computing requests (0 = GOMAXPROCS); cache hits are not limited")
 	queue := fs.Int("queue", 64, "admission queue depth before requests are answered 429")
 	seed := fs.Int64("seed", 0, "base engine seed cells compute under")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown bound for in-flight cells")
 	fs.Parse(args)
 
-	s := serve.New(serve.Options{
+	s, err := serve.New(serve.Options{
 		CacheEntries: *cacheN,
+		CacheBytes:   *cacheBytes,
+		CacheDir:     *cacheDir,
+		CacheSecret:  *cacheSecret,
 		MaxInFlight:  *maxInFlight,
 		QueueDepth:   *queue,
 		Seed:         *seed,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		return 1
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	slots := *maxInFlight
 	if slots <= 0 {
 		slots = runtime.GOMAXPROCS(0)
 	}
-	fmt.Printf("[intrust serve listening on %s (cache %d entries, %d compute slots, queue %d)]\n",
-		*addr, *cacheN, slots, *queue)
+	disk := "no disk tier"
+	if *cacheDir != "" {
+		disk = "disk tier " + *cacheDir
+	}
+	fmt.Printf("[intrust serve listening on %s (cache %d entries, %s, %d compute slots, queue %d)]\n",
+		*addr, *cacheN, disk, slots, *queue)
+	if *warm {
+		// Warm-up rides the same flights and caches as live traffic, so
+		// it can run behind the listener instead of delaying readiness.
+		go func() {
+			start := time.Now()
+			loaded, computed, werr := s.WarmUp(ctx)
+			if werr != nil && ctx.Err() == nil {
+				fmt.Fprintf(os.Stderr, "serve: warm-up: %v\n", werr)
+				return
+			}
+			fmt.Printf("[warm-up: none+stock grid ready in %v (%d loaded from disk, %d computed)]\n",
+				time.Since(start).Round(time.Millisecond), loaded, computed)
+		}()
+	}
 	if err := s.ListenAndServe(ctx, *addr, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		return 1

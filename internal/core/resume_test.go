@@ -1,0 +1,220 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/intrust-sim/intrust/internal/diskcache"
+	"github.com/intrust-sim/intrust/internal/engine"
+)
+
+// The resume tests sweep a small fixed-budget slice so a full pass
+// stays fast: 2 scenarios x 1 arch x 2 defenses = 4 cells.
+var (
+	resumeArchs    = []string{"sgx"}
+	resumeAttacks  = []string{"spectre-v1", "flush+reload"}
+	resumeDefenses = []string{"none", "stock"}
+	resumeOpt      = CellOptions{Samples: 16}
+)
+
+func resumeStore(t *testing.T) *diskcache.Store {
+	t.Helper()
+	s, err := diskcache.Open(t.TempDir(), "resume-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func runResume(t *testing.T, store *diskcache.Store, opt CellOptions) ([]engine.Result, ResumeSummary) {
+	t.Helper()
+	results, sum, err := SweepResume(context.Background(), store, engine.New(0), resumeArchs, resumeAttacks, resumeDefenses, opt)
+	if err != nil {
+		t.Fatalf("SweepResume: %v", err)
+	}
+	return results, sum
+}
+
+// marshal renders results for byte-level comparison.
+func marshalResults(t *testing.T, results []engine.Result) []string {
+	t.Helper()
+	out := make([]string, len(results))
+	for i := range results {
+		b, err := json.Marshal(&results[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = string(b)
+	}
+	return out
+}
+
+// TestSweepResumeColdThenWarm is the incremental sweep's core contract:
+// the first run computes and persists every cell, the second run
+// reuses every cell byte-identically with zero engine work.
+func TestSweepResumeColdThenWarm(t *testing.T) {
+	store := resumeStore(t)
+	cold, sum := runResume(t, store, resumeOpt)
+	if sum.Cells != 4 || sum.Computed != 4 || sum.New != 4 || sum.Reused != 0 {
+		t.Fatalf("cold summary = %+v; want 4 cells, all computed as new", sum)
+	}
+
+	warm, sum := runResume(t, store, resumeOpt)
+	if sum.Reused != 4 || sum.Computed != 0 {
+		t.Fatalf("warm summary = %+v; want all 4 reused", sum)
+	}
+	coldJSON, warmJSON := marshalResults(t, cold), marshalResults(t, warm)
+	for i := range coldJSON {
+		if coldJSON[i] != warmJSON[i] {
+			t.Errorf("cell %d replay differs:\ncold: %s\nwarm: %s", i, coldJSON[i], warmJSON[i])
+		}
+	}
+	// Writes from the warm run: the manifest republish only, never a
+	// result body.
+	if w := store.Counters().Writes; w != 5+1 {
+		t.Errorf("writes = %d; want 6 (4 results + 2 manifest publishes)", w)
+	}
+}
+
+// TestSweepResumeMatchesFullSweep pins the reuse-soundness argument:
+// the resumed grid's verdicts and rows are exactly what a plain
+// (non-persistent) sweep of the same selection computes.
+func TestSweepResumeMatchesFullSweep(t *testing.T) {
+	results, _ := runResume(t, resumeStore(t), resumeOpt)
+
+	exps, err := SweepExperimentsWith(resumeArchs, resumeAttacks, resumeDefenses, SweepOptions{Samples: resumeOpt.Samples})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := engine.New(0).Run(context.Background(), exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != len(results) {
+		t.Fatalf("resume enumerated %d cells, sweep %d", len(results), len(full))
+	}
+	for i := range full {
+		if results[i].Verdict != full[i].Verdict || results[i].Detail != full[i].Detail {
+			t.Errorf("cell %d: resume %q/%q vs sweep %q/%q",
+				i, results[i].Verdict, results[i].Detail, full[i].Verdict, full[i].Detail)
+		}
+	}
+}
+
+// TestSweepResumeChangedInputs: re-running the same coordinates under a
+// different sample budget recomputes everything and reports the cells
+// as changed, not new.
+func TestSweepResumeChangedInputs(t *testing.T) {
+	store := resumeStore(t)
+	runResume(t, store, resumeOpt)
+
+	_, sum := runResume(t, store, CellOptions{Samples: 32})
+	if sum.Computed != 4 || sum.Changed != 4 || sum.New != 0 || sum.Reused != 0 {
+		t.Fatalf("changed-budget summary = %+v; want all 4 changed", sum)
+	}
+	// Stepping back to the original budget reuses the original entries:
+	// changed inputs add addresses, they never destroy prior results.
+	_, sum = runResume(t, store, resumeOpt)
+	if sum.Reused != 4 || sum.Computed != 0 {
+		t.Fatalf("step-back summary = %+v; want all 4 reused", sum)
+	}
+}
+
+// TestSweepResumeSubsetThenSuperset: growing the selection reuses the
+// already-swept cells and computes only the genuinely new coordinates.
+func TestSweepResumeSubsetThenSuperset(t *testing.T) {
+	store := resumeStore(t)
+	_, sum, err := SweepResume(context.Background(), store, engine.New(0), resumeArchs, resumeAttacks, []string{"none"}, resumeOpt)
+	if err != nil || sum.Computed != 2 {
+		t.Fatalf("subset = %+v (%v); want 2 computed", sum, err)
+	}
+	_, sum = runResume(t, store, resumeOpt)
+	if sum.Reused != 2 || sum.Computed != 2 || sum.New != 2 {
+		t.Fatalf("superset = %+v; want 2 reused + 2 new", sum)
+	}
+}
+
+// TestSweepResumeTamperedEntry: a corrupted result body is quarantined
+// and recomputed as invalid — the grid self-heals and the replayed
+// verdicts still match.
+func TestSweepResumeTamperedEntry(t *testing.T) {
+	store := resumeStore(t)
+	cold, _ := runResume(t, store, resumeOpt)
+
+	// Corrupt every persisted result body, sparing the manifest so the
+	// cells classify as invalid (promised but unreadable), not new.
+	manifestFile := hex.EncodeToString(sha256sum(manifestAddr)) + ".cell"
+	files, err := filepath.Glob(filepath.Join(store.Dir(), "*.cell"))
+	if err != nil || len(files) != 5 {
+		t.Fatalf("want 5 entries (4 results + manifest), got %d (%v)", len(files), err)
+	}
+	for _, f := range files {
+		if filepath.Base(f) == manifestFile {
+			continue
+		}
+		if err := os.WriteFile(f, []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	healed, sum := runResume(t, store, resumeOpt)
+	if sum.Invalid != 4 || sum.Computed != 4 || sum.Reused != 0 {
+		t.Fatalf("tampered summary = %+v; want all 4 invalid and recomputed", sum)
+	}
+	for i := range cold {
+		if healed[i].Verdict != cold[i].Verdict {
+			t.Errorf("cell %d healed verdict %q != original %q", i, healed[i].Verdict, cold[i].Verdict)
+		}
+	}
+	if bad, _ := filepath.Glob(filepath.Join(store.Dir(), "*.bad")); len(bad) != 4 {
+		t.Errorf("quarantined %d files; want 4", len(bad))
+	}
+	// And the healed grid is warm again.
+	if _, sum := runResume(t, store, resumeOpt); sum.Reused != 4 {
+		t.Errorf("post-heal summary = %+v; want all reused", sum)
+	}
+}
+
+// TestSweepResumeCancelledRunRetries: a cancelled run persists nothing
+// it did not finish, and the next run simply computes the remainder —
+// failed cells never poison the manifest.
+func TestSweepResumeCancelledRunRetries(t *testing.T) {
+	store := resumeStore(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := SweepResume(ctx, store, engine.New(0), resumeArchs, resumeAttacks, resumeDefenses, resumeOpt)
+	if err == nil {
+		t.Fatal("cancelled run reported no error")
+	}
+
+	_, sum := runResume(t, store, resumeOpt)
+	if sum.Reused+sum.Computed != 4 || sum.Invalid != 0 {
+		t.Fatalf("retry summary = %+v; want the full grid with no invalid entries", sum)
+	}
+	if _, sum := runResume(t, store, resumeOpt); sum.Reused != 4 || sum.Computed != 0 {
+		t.Fatalf("post-retry summary = %+v; want all reused", sum)
+	}
+}
+
+// TestResultAddrDisjointFromServe: sweep result addresses can never
+// collide with the serve layer's bare cell addresses in a shared
+// directory.
+func TestResultAddrDisjointFromServe(t *testing.T) {
+	k, err := ResolveCell("spectre-v1", "sgx", "none", resumeOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ResultAddr(k) == k.Encode() {
+		t.Fatal("result address equals the serve-layer cell address")
+	}
+}
+
+func sha256sum(s string) []byte {
+	h := sha256.Sum256([]byte(s))
+	return h[:]
+}

@@ -1,0 +1,285 @@
+package diskcache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir, secret string) *Store {
+	t.Helper()
+	s, err := Open(dir, secret)
+	if err != nil {
+		t.Fatalf("Open(%q): %v", dir, err)
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), "secret")
+	addr := "cell|v1|flush+reload|sgx|none|64|0|0|0"
+	body := []byte(`{"verdict":"LEAKS"}` + "\n")
+	if _, ok := s.Get(addr); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	if err := s.Put(addr, body); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := s.Get(addr)
+	if !ok || !bytes.Equal(got, body) {
+		t.Fatalf("Get = %q, %v; want stored body", got, ok)
+	}
+	if c := s.Counters(); c.Hits != 1 || c.Misses != 1 || c.Rejects != 0 || c.Writes != 1 {
+		t.Fatalf("counters = %+v; want 1 hit, 1 miss, 0 rejects, 1 write", c)
+	}
+	// Overwrite is allowed and keeps the entry servable.
+	if err := s.Put(addr, body); err != nil {
+		t.Fatalf("re-Put: %v", err)
+	}
+	if _, ok := s.Get(addr); !ok {
+		t.Fatal("entry lost after overwrite")
+	}
+}
+
+func TestEmptyBodyAndOddAddresses(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), "")
+	for _, addr := range []string{"a", strings.Repeat("x", 4096), "sp ace|pipe%25", "\x00\xff"} {
+		if err := s.Put(addr, nil); err != nil {
+			t.Fatalf("Put(%q, nil): %v", addr, err)
+		}
+		got, ok := s.Get(addr)
+		if !ok || len(got) != 0 {
+			t.Fatalf("Get(%q) = %q, %v; want empty hit", addr, got, ok)
+		}
+	}
+}
+
+// entryPath finds the single .cell file a one-entry store holds.
+func entryPath(t *testing.T, s *Store) string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(s.Dir(), "*.cell"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("want exactly one .cell file, got %v (err %v)", files, err)
+	}
+	return files[0]
+}
+
+// TestCorruptionMatrix is the on-disk format's central safety property:
+// every way a file can go wrong — truncation anywhere, a flipped byte
+// in the header, address echo, body or MAC, a stale version byte,
+// trailing bytes, a torn write, a wrong secret — reads as a miss and
+// quarantines the file. Never a panic, never a served body, and the
+// address recovers (a fresh Put works) afterwards.
+func TestCorruptionMatrix(t *testing.T) {
+	const addr = "cell|v1|dpa|sgx|stock|1500|0.9|0|0"
+	body := []byte(`{"verdict":"defended","metrics":{"traces":1500}}` + "\n")
+
+	corruptions := []struct {
+		name    string
+		mutate  func(env []byte) []byte
+		recount bool // false: the mutation is a different secret, not a file edit
+	}{
+		{"truncated-header", func(e []byte) []byte { return e[:3] }, true},
+		{"truncated-mid-body", func(e []byte) []byte { return e[:len(e)/2] }, true},
+		{"truncated-one-byte", func(e []byte) []byte { return e[:len(e)-1] }, true},
+		{"empty-file", func(e []byte) []byte { return nil }, true},
+		{"flipped-magic", flipAt(0), true},
+		{"stale-version", func(e []byte) []byte { e[3] = '0'; return e }, true},
+		{"flipped-addrlen", flipAt(5), true},
+		{"flipped-addr", flipAt(headerLen + 2), true},
+		{"flipped-bodylen", func(e []byte) []byte { e[headerLen+len(addr)+1] ^= 0xff; return e }, true},
+		{"flipped-body", func(e []byte) []byte { e[headerLen+len(addr)+4+3] ^= 0x01; return e }, true},
+		{"flipped-mac", func(e []byte) []byte { e[len(e)-1] ^= 0x80; return e }, true},
+		{"trailing-byte", func(e []byte) []byte { return append(e, 0) }, true},
+		{"trailing-envelope", func(e []byte) []byte { return append(e, e...) }, true},
+		{"giant-addrlen", func(e []byte) []byte { e[4], e[5] = 0x7f, 0xff; return e }, true},
+		{"torn-write", func(e []byte) []byte { return e[:headerLen+len(addr)+2] }, true},
+	}
+
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			s := mustOpen(t, t.TempDir(), "secret")
+			if err := s.Put(addr, body); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			path := entryPath(t, s)
+			env, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read entry: %v", err)
+			}
+			if err := os.WriteFile(path, tc.mutate(env), 0o644); err != nil {
+				t.Fatalf("corrupt entry: %v", err)
+			}
+			if got, ok := s.Get(addr); ok {
+				t.Fatalf("corrupted entry served: %q", got)
+			}
+			if c := s.Counters(); c.Rejects != 1 {
+				t.Fatalf("counters = %+v; want exactly one reject", c)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupted file still at %s (err %v); want quarantined", path, err)
+			}
+			if _, err := os.Stat(path + ".bad"); err != nil {
+				t.Fatalf("no quarantine file at %s.bad: %v", path, err)
+			}
+			// The address must recover: a clean miss now, a fresh Put
+			// and hit afterwards.
+			if _, ok := s.Get(addr); ok {
+				t.Fatal("quarantined address still hit")
+			}
+			if err := s.Put(addr, body); err != nil {
+				t.Fatalf("re-Put after quarantine: %v", err)
+			}
+			if got, ok := s.Get(addr); !ok || !bytes.Equal(got, body) {
+				t.Fatalf("address did not recover: %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+func flipAt(i int) func([]byte) []byte {
+	return func(e []byte) []byte { e[i] ^= 0x40; return e }
+}
+
+// TestWrongSecret: an envelope written under one secret must not
+// authenticate under another — a stolen or guessed directory cannot be
+// replayed into a differently-keyed service.
+func TestWrongSecret(t *testing.T) {
+	dir := t.TempDir()
+	a := mustOpen(t, dir, "alpha")
+	const addr = "cell|v1|spectre-v1|sgx|none|64|0|0|0"
+	if err := a.Put(addr, []byte("body\n")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	b := mustOpen(t, dir, "beta")
+	if got, ok := b.Get(addr); ok {
+		t.Fatalf("cross-secret read served %q", got)
+	}
+	if c := b.Counters(); c.Rejects != 1 {
+		t.Fatalf("counters = %+v; want one reject", c)
+	}
+}
+
+// TestCrossKeyAliasing: copying a perfectly authentic envelope onto
+// another address's path must be rejected via the address echo — an
+// attacker who can rearrange files cannot remap results between cells.
+func TestCrossKeyAliasing(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), "secret")
+	const addrA = "cell|v1|flush+reload|sgx|none|64|0|0|0"
+	const addrB = "cell|v1|flush+reload|sgx|stock|64|0|0|0"
+	if err := s.Put(addrA, []byte("broken\n")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	env, err := os.ReadFile(s.path(addrA))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := os.WriteFile(s.path(addrB), env, 0o644); err != nil {
+		t.Fatalf("alias: %v", err)
+	}
+	if got, ok := s.Get(addrB); ok {
+		t.Fatalf("aliased entry served under %q: %q", addrB, got)
+	}
+	if c := s.Counters(); c.Rejects != 1 {
+		t.Fatalf("counters = %+v; want one reject", c)
+	}
+	// The genuine address still serves.
+	if got, ok := s.Get(addrA); !ok || string(got) != "broken\n" {
+		t.Fatalf("genuine entry lost: %q, %v", got, ok)
+	}
+}
+
+// TestOpenSweepsTempFiles: temp files from a crashed writer are swept
+// on Open and never visible to Get.
+func TestOpenSweepsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "put-123.tmp")
+	if err := os.WriteFile(stale, []byte("half an envelope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mustOpen(t, dir, "secret")
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file survived Open (err %v)", err)
+	}
+}
+
+// TestPutLeavesNoTempFiles: the atomic-rename protocol must not leak
+// temp files on the success path.
+func TestPutLeavesNoTempFiles(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), "secret")
+	for i := 0; i < 8; i++ {
+		if err := s.Put(fmt.Sprintf("addr-%d", i), []byte("body")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	tmps, _ := filepath.Glob(filepath.Join(s.Dir(), "put-*.tmp"))
+	if len(tmps) != 0 {
+		t.Fatalf("temp files left behind: %v", tmps)
+	}
+}
+
+func TestHas(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), "secret")
+	if s.Has("nope") {
+		t.Fatal("Has on an empty store")
+	}
+	if err := s.Put("yes", []byte("body")); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has("yes") {
+		t.Fatal("Has missed a stored entry")
+	}
+	// Has is a pure existence probe and must not move the counters.
+	if c := s.Counters(); c.Hits != 0 || c.Misses != 0 {
+		t.Fatalf("Has moved the read counters: %+v", c)
+	}
+}
+
+// TestConcurrentPutGet exercises the rename protocol under concurrent
+// writers and readers of the same addresses (run with -race).
+func TestConcurrentPutGet(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), "secret")
+	const addrs = 4
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				addr := fmt.Sprintf("addr-%d", i%addrs)
+				body := []byte(fmt.Sprintf("body-%d", i%addrs))
+				if i%2 == 0 {
+					if err := s.Put(addr, body); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+				} else if got, ok := s.Get(addr); ok && !bytes.Equal(got, body) {
+					t.Errorf("Get(%q) = %q; want %q or miss", addr, got, body)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c := s.Counters(); c.Rejects != 0 {
+		t.Fatalf("concurrent put/get produced rejects: %+v", c)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open("", "s"); err == nil {
+		t.Fatal("Open(\"\") did not error")
+	}
+	// A path through a regular file cannot be a directory.
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(filepath.Join(f, "sub"), "s"); err == nil {
+		t.Fatal("Open through a file did not error")
+	}
+}

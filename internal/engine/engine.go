@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"os"
 	"runtime"
 	"runtime/debug"
 	"sort"
@@ -46,8 +47,28 @@ import (
 // Run exited last.
 var gcTuneOnce sync.Once
 
+// sweepGCPercent is the pacing target the engine applies when the
+// operator has not chosen one.
+const sweepGCPercent = 300
+
 func gcTune() {
-	gcTuneOnce.Do(func() { debug.SetGCPercent(300) })
+	gcTuneOnce.Do(func() {
+		if pct, ok := gcTuneTarget(os.Getenv("GOGC")); ok {
+			debug.SetGCPercent(pct)
+		}
+	})
+}
+
+// gcTuneTarget decides whether the engine may retune the collector: an
+// explicitly-set GOGC environment variable — any non-empty value,
+// including "off" — is an operator decision the runtime already
+// honored at startup, and the engine must not silently override it.
+// Only when GOGC is unset does the engine apply its own pacing.
+func gcTuneTarget(gogc string) (percent int, tune bool) {
+	if strings.TrimSpace(gogc) != "" {
+		return 0, false
+	}
+	return sweepGCPercent, true
 }
 
 // Experiment is one schedulable unit of measurement.

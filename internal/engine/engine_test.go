@@ -261,3 +261,30 @@ func TestSummarizeSampling(t *testing.T) {
 		t.Errorf("early/escalated = %d/%d, want 1/1", s.EarlyStopped, s.Escalated)
 	}
 }
+
+// TestGCTuneRespectsGOGC pins the override rule: the engine retunes
+// the collector only when the operator has not set GOGC — an explicit
+// env var (any value, including "off") must be left in force.
+func TestGCTuneRespectsGOGC(t *testing.T) {
+	cases := []struct {
+		gogc string
+		tune bool
+	}{
+		{"", true},          // unset: the engine applies its pacing
+		{"   ", true},       // whitespace is as good as unset
+		{"100", false},      // operator pinned the default explicitly
+		{"50", false},       // operator chose tighter pacing
+		{"800", false},      // operator chose looser pacing
+		{"off", false},      // operator disabled the collector target
+		{"not-a-num", false}, // even junk is an explicit operator choice
+	}
+	for _, tc := range cases {
+		pct, tune := gcTuneTarget(tc.gogc)
+		if tune != tc.tune {
+			t.Errorf("gcTuneTarget(%q) tune = %v, want %v", tc.gogc, tune, tc.tune)
+		}
+		if tune && pct != sweepGCPercent {
+			t.Errorf("gcTuneTarget(%q) percent = %d, want %d", tc.gogc, pct, sweepGCPercent)
+		}
+	}
+}

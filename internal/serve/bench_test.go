@@ -106,6 +106,45 @@ func BenchmarkSweepWarm(b *testing.B) {
 	}
 }
 
+// BenchmarkRestart contrasts the two restart stories: ColdCompute is a
+// fresh server paying the engine price for its first cell, DiskWarm is
+// a fresh server answering the same cell from the persistent tier. The
+// gap is what `-cache-dir` buys across a process restart.
+func BenchmarkRestart(b *testing.B) {
+	const target = "/cell?scenario=dpa&arch=sgx&defense=none&samples=6000&confidence=0"
+
+	b.Run("ColdCompute", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := newTestServer(Options{})
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, target, nil))
+			if rec.Code != http.StatusOK || rec.Header().Get("X-Cache") != "miss" {
+				b.Fatalf("cold = %d X-Cache=%q", rec.Code, rec.Header().Get("X-Cache"))
+			}
+		}
+	})
+
+	b.Run("DiskWarm", func(b *testing.B) {
+		dir := b.TempDir()
+		opts := Options{CacheDir: dir, CacheSecret: "bench"}
+		seed := newTestServer(opts)
+		if code := warmup(b, seed, target); code != http.StatusOK {
+			b.Fatalf("seed = %d", code)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := newTestServer(opts)
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, target, nil))
+			if rec.Code != http.StatusOK || rec.Header().Get("X-Cache") != "disk" {
+				b.Fatalf("restart = %d X-Cache=%q", rec.Code, rec.Header().Get("X-Cache"))
+			}
+		}
+	})
+}
+
 func warmup(b *testing.B, s *Server, target string) int {
 	b.Helper()
 	rec := httptest.NewRecorder()

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -11,12 +12,17 @@ import (
 // policy. Determinism is what makes it sound — the engine's per-job
 // seeding guarantees a cached body is byte-identical to what a fresh
 // computation of the same key would render — so the cache never needs
-// invalidation, only bounding.
+// invalidation, only bounding. Bounding is two-dimensional: an entry
+// count and a resident-byte budget, because entry count alone lets a
+// few very large bodies dwarf thousands of cell entries and blow
+// memory without a single eviction.
 type cellCache struct {
-	mu    sync.Mutex
-	max   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	mu       sync.Mutex
+	max      int
+	maxBytes int64
+	bytes    int64 // resident key+body bytes, guarded by mu
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
 
 	hits      atomic.Int64
 	misses    atomic.Int64
@@ -28,11 +34,19 @@ type cacheEntry struct {
 	body []byte
 }
 
-func newCellCache(max int) *cellCache {
+// defaultCacheBytes bounds resident bodies when the caller does not:
+// generous for cell-sized entries (hundreds of bytes each) while
+// keeping the worst case far below container memory limits.
+const defaultCacheBytes = 256 << 20
+
+func newCellCache(max int, maxBytes int64) *cellCache {
 	if max <= 0 {
 		max = 4096
 	}
-	return &cellCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+	if maxBytes <= 0 {
+		maxBytes = defaultCacheBytes
+	}
+	return &cellCache{max: max, maxBytes: maxBytes, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
 // get returns the cached body for a key, promoting it to most recently
@@ -73,10 +87,13 @@ func (c *cellCache) peek(key string) bool {
 	return ok
 }
 
-// put stores a body under a key, evicting from the LRU tail past the
-// bound. Storing an existing key refreshes its recency but keeps the
-// first body: contents are content-addressed, so both writers hold the
-// same bytes.
+// put stores a body under a key, evicting from the LRU tail past
+// either bound (entries or resident bytes). Storing an existing key
+// refreshes its recency but keeps the first body: contents are
+// content-addressed, so both writers hold the same bytes. A single
+// body larger than the whole byte budget still caches (it was just
+// computed; evicting everything else is the best the bound can do) and
+// is shed by the next put.
 func (c *cellCache) put(key string, body []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -85,12 +102,22 @@ func (c *cellCache) put(key string, body []byte) {
 		return
 	}
 	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
-	for c.ll.Len() > c.max {
+	c.bytes += entryBytes(key, body)
+	for (c.ll.Len() > c.max || c.bytes > c.maxBytes) && c.ll.Len() > 1 {
 		tail := c.ll.Back()
+		ent := tail.Value.(*cacheEntry)
 		c.ll.Remove(tail)
-		delete(c.items, tail.Value.(*cacheEntry).key)
+		delete(c.items, ent.key)
+		c.bytes -= entryBytes(ent.key, ent.body)
 		c.evictions.Add(1)
 	}
+}
+
+// entryBytes is one entry's accounted footprint: the retained key and
+// body bytes (map/list overhead is proportional to the entry bound,
+// which the count dimension already limits).
+func entryBytes(key string, body []byte) int64 {
+	return int64(len(key) + len(body))
 }
 
 // len returns the current entry count.
@@ -98,6 +125,13 @@ func (c *cellCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// size returns the current entry count and resident bytes.
+func (c *cellCache) size() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.bytes
 }
 
 // flightGroup deduplicates concurrent computations of the same key:
@@ -122,6 +156,14 @@ func newFlightGroup() *flightGroup {
 
 // do runs fn under the key's flight, returning the shared result and
 // whether this caller was a follower (shared == true).
+//
+// The unwind is deferred so it runs even when fn panics: without that,
+// a panicking leader would leak the map entry and never close done,
+// permanently wedging the key — every later request for it would block
+// forever. A leader panic instead converts to an error shared with the
+// in-flight followers (surfaced upstream as a structured 500, exactly
+// like an engine error) and the key recovers: the next request starts
+// a fresh flight.
 func (g *flightGroup) do(key string, fn func() ([]byte, error)) (body []byte, err error, shared bool) {
 	g.mu.Lock()
 	if call, ok := g.calls[key]; ok {
@@ -133,10 +175,16 @@ func (g *flightGroup) do(key string, fn func() ([]byte, error)) (body []byte, er
 	g.calls[key] = call
 	g.mu.Unlock()
 
+	defer func() {
+		if p := recover(); p != nil {
+			call.body, call.err = nil, fmt.Errorf("panic computing %s: %v", key, p)
+		}
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(call.done)
+		body, err = call.body, call.err
+	}()
 	call.body, call.err = fn()
-	g.mu.Lock()
-	delete(g.calls, key)
-	g.mu.Unlock()
-	close(call.done)
 	return call.body, call.err, false
 }

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/intrust-sim/intrust/internal/core"
+)
+
+// TestFlightPanicRecovers is the singleflight regression test: a
+// panicking leader must not wedge the key. Before the fix, the leader's
+// unwind skipped the map delete and the done close, so every follower
+// (and every later request for the key) blocked forever. Now the panic
+// converts to a shared error, followers unblock, and the very next
+// flight for the key runs fresh.
+func TestFlightPanicRecovers(t *testing.T) {
+	g := newFlightGroup()
+	leaderIn := make(chan struct{})
+	followersReady := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { recover() }() // absorb nothing: do must not re-panic
+		_, err, shared := g.do("k", func() ([]byte, error) {
+			close(leaderIn)
+			<-followersReady
+			panic("boom in leader")
+		})
+		if shared {
+			t.Error("leader reported shared")
+		}
+		if err == nil || !strings.Contains(err.Error(), "boom in leader") {
+			t.Errorf("leader err = %v; want the panic converted to an error", err)
+		}
+	}()
+
+	<-leaderIn
+	const followers = 4
+	ferrs := make(chan error, followers)
+	wg.Add(followers)
+	for i := 0; i < followers; i++ {
+		go func() {
+			defer wg.Done()
+			_, err, shared := g.do("k", func() ([]byte, error) {
+				return nil, fmt.Errorf("follower ran fn")
+			})
+			if !shared {
+				ferrs <- fmt.Errorf("follower was not shared")
+				return
+			}
+			ferrs <- err
+		}()
+	}
+	// Give the followers a beat to park on the flight, then let the
+	// leader panic.
+	time.Sleep(50 * time.Millisecond)
+	close(followersReady)
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("flight wedged: goroutines still blocked 10s after the leader panicked")
+	}
+	close(ferrs)
+	for err := range ferrs {
+		if err == nil || !strings.Contains(err.Error(), "boom in leader") {
+			t.Errorf("follower err = %v; want the leader's panic error", err)
+		}
+	}
+
+	// The key recovered: a fresh flight runs its own fn.
+	body, err, shared := g.do("k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || shared || string(body) != "ok" {
+		t.Fatalf("post-panic flight = %q, %v, shared=%v; want fresh ok", body, err, shared)
+	}
+	if len(g.calls) != 0 {
+		t.Errorf("flight map retains %d entries after all flights finished", len(g.calls))
+	}
+}
+
+// TestFlightPanicEndToEnd drives a compute panic through the full
+// handler stack via the compute-stall seam: the request gets a
+// structured 500 (never a hang, never a crash), and the same cell
+// computes cleanly on retry.
+func TestFlightPanicEndToEnd(t *testing.T) {
+	s := newTestServer(Options{})
+	panicked := false
+	testComputeStall = func(core.CellKey) {
+		if !panicked {
+			panicked = true
+			panic("injected compute panic")
+		}
+	}
+	defer func() { testComputeStall = nil }()
+
+	const target = "/cell?scenario=spectre-v1&arch=sgx&defense=none&samples=16"
+	rec := get(t, s, target)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking compute = %d %s; want 500", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "injected compute panic") {
+		t.Errorf("500 body %q does not carry the panic message", rec.Body.String())
+	}
+
+	// The key recovered: the retry computes and caches normally.
+	rec = get(t, s, target)
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("retry = %d X-Cache=%q; want 200 miss", rec.Code, rec.Header().Get("X-Cache"))
+	}
+	if rec := get(t, s, target); rec.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("post-retry = X-Cache=%q; want hit", rec.Header().Get("X-Cache"))
+	}
+}
+
+// TestCellCacheByteBound exercises the byte dimension of the LRU bound:
+// with a generous entry bound and a tight byte budget, resident bytes —
+// not entry count — drive eviction.
+func TestCellCacheByteBound(t *testing.T) {
+	c := newCellCache(1000, 1024)
+	body := make([]byte, 400)
+	for i := 0; i < 10; i++ {
+		c.put(fmt.Sprintf("key-%02d", i), body)
+	}
+	entries, bytes := c.size()
+	if bytes > 1024 {
+		t.Errorf("resident bytes %d exceed the 1024 budget", bytes)
+	}
+	// 400+6 bytes per entry under a 1 KiB budget: exactly 2 fit.
+	if entries != 2 {
+		t.Errorf("entries = %d; want 2 under the byte budget", entries)
+	}
+	if got := c.evictions.Load(); got != 8 {
+		t.Errorf("evictions = %d; want 8", got)
+	}
+	// MRU entries survive, the tail went first.
+	if _, ok := c.lookup("key-09"); !ok {
+		t.Error("most recent entry was evicted")
+	}
+	if _, ok := c.lookup("key-00"); ok {
+		t.Error("oldest entry survived a byte-driven eviction")
+	}
+}
+
+// TestCellCacheOverBudgetBody: a single body larger than the whole byte
+// budget still caches (evicting the rest), and accounting stays exact
+// when it is later shed.
+func TestCellCacheOverBudgetBody(t *testing.T) {
+	c := newCellCache(1000, 1024)
+	c.put("small", make([]byte, 100))
+	c.put("huge", make([]byte, 4096))
+	if _, ok := c.lookup("huge"); !ok {
+		t.Fatal("over-budget body was not cached")
+	}
+	if _, ok := c.lookup("small"); ok {
+		t.Error("small entry survived the over-budget put")
+	}
+	// The next put sheds the over-budget body and accounting returns to
+	// the small steady state.
+	c.put("next", make([]byte, 100))
+	if _, ok := c.lookup("huge"); ok {
+		t.Error("over-budget body survived the next put")
+	}
+	entries, bytes := c.size()
+	if entries != 1 || bytes != int64(len("next")+100) {
+		t.Errorf("after shed: %d entries, %d bytes; want 1 entry, %d bytes", entries, bytes, len("next")+100)
+	}
+}
+
+// TestCellCacheEntryBoundStillHolds: the pre-existing entry dimension
+// keeps working alongside the byte budget.
+func TestCellCacheEntryBoundStillHolds(t *testing.T) {
+	c := newCellCache(3, 1<<20)
+	for i := 0; i < 10; i++ {
+		c.put(fmt.Sprintf("k%d", i), []byte("b"))
+	}
+	if entries, _ := c.size(); entries != 3 {
+		t.Errorf("entries = %d; want 3 under the entry bound", entries)
+	}
+}

@@ -175,6 +175,13 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 		writeCell(w, body, "hit")
 		return
 	}
+	// The persistent tier: a restart-warm cell serves (and promotes into
+	// the LRU) without admission or engine work; anything the store
+	// refuses falls through to compute as a plain miss.
+	if body, ok := s.diskLoad(key.Encode()); ok {
+		writeCell(w, body, "disk")
+		return
+	}
 	release, err := s.adm.acquire(r.Context())
 	if err != nil {
 		writeAdmissionError(w, err)
@@ -262,7 +269,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// Admission is request-scoped and decided before the first byte:
 	// once streaming starts the status code is committed, so a
 	// selection that needs any cold compute must win its slot (or 429)
-	// up front. Fully-warm selections bypass admission entirely.
+	// up front. Fully-warm selections bypass admission entirely. The
+	// scan consults only the memory tier: a disk-warm selection takes a
+	// slot it will barely use, which is the conservative direction — a
+	// cell whose disk entry later fails authentication still computes
+	// under a held slot, never outside the admission bound.
 	var release func()
 	for _, k := range keys {
 		if !s.cache.peek(k.Encode()) {
@@ -292,6 +303,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		for i := start; i < end; i++ {
 			addr := keys[i].Encode()
 			if b, ok := s.cache.get(addr); ok {
+				bodies[i-start] = b
+				sum.CacheHits++
+				continue
+			}
+			if b, ok := s.diskLoad(addr); ok {
 				bodies[i-start] = b
 				sum.CacheHits++
 				continue
@@ -451,5 +467,5 @@ func (s *Server) handleBench(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.render(w, s.cache, s.adm)
+	s.met.render(w, s.cache, s.disk, s.adm)
 }

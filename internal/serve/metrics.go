@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/intrust-sim/intrust/internal/diskcache"
 )
 
 // metrics is the service's Prometheus-style instrumentation: request
@@ -30,6 +32,7 @@ type metrics struct {
 	cellComputeUS  atomic.Int64 // summed compute wall clock, microseconds
 	cellsStreamed  atomic.Int64
 	cellErrors     atomic.Int64
+	diskWriteErrors atomic.Int64 // write-behind persists that failed
 
 	revalidations  atomic.Int64 // /cell 304s answered from the content address
 	attestQuotes   atomic.Int64
@@ -89,9 +92,10 @@ func (m *metrics) observeCompute(d time.Duration, failed bool) {
 }
 
 // render writes the full text exposition (version 0.0.4): the request
-// and compute metrics above plus the cache and admission state passed
-// in. Output is deterministically ordered so scrapes diff cleanly.
-func (m *metrics) render(w io.Writer, cache *cellCache, adm *admission) {
+// and compute metrics above plus the cache, disk-tier and admission
+// state passed in (disk may be nil). Output is deterministically
+// ordered so scrapes diff cleanly.
+func (m *metrics) render(w io.Writer, cache *cellCache, disk *diskcache.Store, adm *admission) {
 	writeHeader := func(name, typ, help string) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 	}
@@ -154,7 +158,24 @@ func (m *metrics) render(w io.Writer, cache *cellCache, adm *admission) {
 	writeHeader("intrust_cache_evictions_total", "counter", "Result-cache LRU evictions.")
 	fmt.Fprintf(w, "intrust_cache_evictions_total %d\n", cache.evictions.Load())
 	writeHeader("intrust_cache_entries", "gauge", "Result-cache resident entries.")
-	fmt.Fprintf(w, "intrust_cache_entries %d\n", cache.len())
+	entries, bytes := cache.size()
+	fmt.Fprintf(w, "intrust_cache_entries %d\n", entries)
+	writeHeader("intrust_cache_bytes", "gauge", "Result-cache resident key+body bytes (bounded alongside the entry count).")
+	fmt.Fprintf(w, "intrust_cache_bytes %d\n", bytes)
+
+	if disk != nil {
+		c := disk.Counters()
+		writeHeader("intrust_disk_hits_total", "counter", "Persistent-tier reads that served an authenticated body.")
+		fmt.Fprintf(w, "intrust_disk_hits_total %d\n", c.Hits)
+		writeHeader("intrust_disk_misses_total", "counter", "Persistent-tier reads with no entry on disk.")
+		fmt.Fprintf(w, "intrust_disk_misses_total %d\n", c.Misses)
+		writeHeader("intrust_disk_rejects_total", "counter", "Persistent-tier entries refused (failed authentication, truncated, torn or aliased) and quarantined.")
+		fmt.Fprintf(w, "intrust_disk_rejects_total %d\n", c.Rejects)
+		writeHeader("intrust_disk_writes_total", "counter", "Cell bodies durably persisted to the disk tier.")
+		fmt.Fprintf(w, "intrust_disk_writes_total %d\n", c.Writes)
+		writeHeader("intrust_disk_write_errors_total", "counter", "Write-behind persists that failed (the response was served anyway).")
+		fmt.Fprintf(w, "intrust_disk_write_errors_total %d\n", m.diskWriteErrors.Load())
+	}
 
 	writeHeader("intrust_inflight_requests", "gauge", "Requests currently holding a compute slot.")
 	fmt.Fprintf(w, "intrust_inflight_requests %d\n", adm.inFlight.Load())

@@ -10,6 +10,16 @@
 // fresh computation would render. Repeated queries are therefore O(1),
 // and the cache needs bounding (LRU) but never invalidation.
 //
+// The cache is two-tiered: an in-memory LRU (bounded by entries and by
+// resident bytes) in front of an optional persistent tier
+// (Options.CacheDir, see internal/diskcache) whose authenticated
+// envelopes survive restarts. The hit path is LRU -> disk -> admission
+// -> engine: disk hits promote into the LRU and cold computes write
+// behind to disk, so a restarted server answers warm cells
+// byte-identically with zero engine work, while a tampered, torn or
+// truncated cache file reads as a miss and is quarantined — never a
+// served body, never a 500.
+//
 // Endpoints:
 //
 //	/healthz   liveness (503 while draining)
@@ -42,11 +52,14 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/intrust-sim/intrust/internal/core"
+	"github.com/intrust-sim/intrust/internal/diskcache"
 	"github.com/intrust-sim/intrust/internal/perf"
+	"github.com/intrust-sim/intrust/internal/stats"
 )
 
 // Options configures a Server. The zero value selects the defaults
@@ -54,6 +67,21 @@ import (
 type Options struct {
 	// CacheEntries bounds the result cache's LRU (<= 0 selects 4096).
 	CacheEntries int
+	// CacheBytes bounds the LRU by resident body bytes alongside the
+	// entry bound (<= 0 selects 256 MiB) — entry count alone lets a
+	// few large bodies dwarf thousands of cell entries.
+	CacheBytes int64
+	// CacheDir enables the persistent second cache tier: rendered cell
+	// bodies stored in tamper-evident authenticated envelopes
+	// (internal/diskcache) that survive restarts. Empty disables the
+	// disk tier. The hit path is LRU -> disk -> compute; disk hits
+	// promote into the LRU, cold computes write behind to disk.
+	CacheDir string
+	// CacheSecret keys the disk tier's authentication (HMAC-SHA256,
+	// derived deterministically): a file that fails authentication is
+	// quarantined and treated as a miss, never served. Every process
+	// sharing a CacheDir must share its secret.
+	CacheSecret string
 	// MaxInFlight bounds concurrently computing requests
 	// (<= 0 selects GOMAXPROCS).
 	MaxInFlight int
@@ -87,6 +115,7 @@ type Options struct {
 type Server struct {
 	opts     Options
 	cache    *cellCache
+	disk     *diskcache.Store // nil when Options.CacheDir is empty
 	adm      *admission
 	met      *metrics
 	flight   *flightGroup
@@ -106,8 +135,10 @@ type Server struct {
 // backpressure and graceful-shutdown tests block on.
 var testComputeStall func(key core.CellKey)
 
-// New builds a Server from the options.
-func New(opts Options) *Server {
+// New builds a Server from the options. The only failure mode is the
+// persistent cache tier: an unusable Options.CacheDir is an error at
+// construction, not a silently-degraded server.
+func New(opts Options) (*Server, error) {
 	if opts.CacheEntries <= 0 {
 		opts.CacheEntries = 4096
 	}
@@ -120,9 +151,17 @@ func New(opts Options) *Server {
 	if opts.BenchConfigs == nil {
 		opts.BenchConfigs = perf.CanonicalConfigs()
 	}
+	var disk *diskcache.Store
+	if opts.CacheDir != "" {
+		var err error
+		if disk, err = diskcache.Open(opts.CacheDir, opts.CacheSecret); err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		opts:        opts,
-		cache:       newCellCache(opts.CacheEntries),
+		cache:       newCellCache(opts.CacheEntries, opts.CacheBytes),
+		disk:        disk,
 		adm:         newAdmission(opts.MaxInFlight, opts.QueueDepth),
 		met:         newMetrics(),
 		flight:      newFlightGroup(),
@@ -141,7 +180,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/attest/verify", s.instrument("/attest/verify", s.handleAttestVerify))
 	s.mux.HandleFunc("/attest/tcb", s.instrument("/attest/tcb", s.handleAttestTCB))
 	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
-	return s
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -242,14 +281,19 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	json.NewEncoder(w).Encode(apiError{Error: msg})
 }
 
-// computeCell renders one cold cell: it re-checks the cache (another
-// flight may have landed it), runs the cell on the engine, and caches
-// the rendered body. Concurrent computations of the same key collapse
-// into one flight. The caller must already hold a compute slot.
+// computeCell renders one cold cell: it re-checks the cache tiers
+// (another flight may have landed it in memory, or a previous process
+// in the disk store), runs the cell on the engine, and caches the
+// rendered body in both tiers. Concurrent computations of the same key
+// collapse into one flight. The caller must already hold a compute
+// slot.
 func (s *Server) computeCell(ctx context.Context, key core.CellKey) ([]byte, error) {
 	addr := key.Encode()
 	body, err, _ := s.flight.do(addr, func() ([]byte, error) {
 		if b, ok := s.cache.lookup(addr); ok {
+			return b, nil
+		}
+		if b, ok := s.diskLoad(addr); ok {
 			return b, nil
 		}
 		if h := testComputeStall; h != nil {
@@ -266,7 +310,88 @@ func (s *Server) computeCell(ctx context.Context, key core.CellKey) ([]byte, err
 		}
 		b := marshalLine(newCell(key, &res))
 		s.cache.put(addr, b)
+		s.diskWrite(addr, b)
 		return b, nil
 	})
 	return body, err
+}
+
+// diskLoad reads one body from the persistent tier, promoting a hit
+// into the in-memory LRU. Everything the store refuses — absent,
+// truncated, tampered, torn, cross-key aliased — is a plain miss; the
+// caller falls through to compute, never to an error.
+func (s *Server) diskLoad(addr string) ([]byte, bool) {
+	if s.disk == nil {
+		return nil, false
+	}
+	b, ok := s.disk.Get(addr)
+	if ok {
+		s.cache.put(addr, b)
+	}
+	return b, ok
+}
+
+// diskWrite persists one rendered body write-behind: a storage failure
+// costs the restart-warm guarantee for this cell, not the response, so
+// it only moves an error counter.
+func (s *Server) diskWrite(addr string, body []byte) {
+	if s.disk == nil {
+		return
+	}
+	if err := s.disk.Put(addr, body); err != nil {
+		s.met.diskWriteErrors.Add(1)
+	}
+}
+
+// WarmUp precomputes the canonical none+stock grid — the paper's
+// primary efficacy surface — into the cache tiers, so a fresh process
+// (or a restarted one pointed at a populated CacheDir) answers it with
+// zero engine work. Cells already on disk load and promote; only
+// genuinely new cells compute, bounded by GOMAXPROCS. It returns how
+// many cells each path took. Safe to run concurrently with live
+// traffic: it goes through the same flights and caches as any request.
+func (s *Server) WarmUp(ctx context.Context) (loaded, computed int, err error) {
+	return s.warmUp(ctx, nil, nil, []string{"none", "stock"})
+}
+
+// warmUp is WarmUp over an explicit axis selection (tests warm small
+// slices; the canonical entry point warms the full none+stock grid).
+func (s *Server) warmUp(ctx context.Context, archs, attacks, defenses []string) (loaded, computed int, err error) {
+	keys, err := core.EnumerateCells(archs, attacks, defenses, core.CellOptions{Confidence: stats.DefaultConfidence, Seed: s.opts.Seed})
+	if err != nil {
+		return 0, 0, err
+	}
+	var nLoaded, nComputed atomic.Int64
+	var firstErr atomic.Pointer[error]
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for _, key := range keys {
+		if ctx.Err() != nil {
+			break
+		}
+		addr := key.Encode()
+		if s.cache.peek(addr) {
+			continue
+		}
+		if _, ok := s.diskLoad(addr); ok {
+			nLoaded.Add(1)
+			continue
+		}
+		wg.Add(1)
+		go func(key core.CellKey) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if _, cerr := s.computeCell(ctx, key); cerr != nil {
+				firstErr.CompareAndSwap(nil, &cerr)
+				return
+			}
+			nComputed.Add(1)
+		}(key)
+	}
+	wg.Wait()
+	if p := firstErr.Load(); p != nil {
+		err = *p
+	}
+	return int(nLoaded.Load()), int(nComputed.Load()), err
 }

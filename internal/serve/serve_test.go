@@ -28,7 +28,11 @@ func newTestServer(opts Options) *Server {
 			Defenses: []string{"none"}, Samples: 8,
 		}}
 	}
-	return New(opts)
+	s, err := New(opts)
+	if err != nil {
+		panic("newTestServer: " + err.Error())
+	}
+	return s
 }
 
 // get performs one in-process GET against the handler stack (through

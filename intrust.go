@@ -41,6 +41,7 @@ import (
 	"github.com/intrust-sim/intrust/internal/core"
 	"github.com/intrust-sim/intrust/internal/cpu"
 	"github.com/intrust-sim/intrust/internal/defense"
+	"github.com/intrust-sim/intrust/internal/diskcache"
 	"github.com/intrust-sim/intrust/internal/engine"
 	"github.com/intrust-sim/intrust/internal/isa"
 	"github.com/intrust-sim/intrust/internal/perf"
@@ -532,6 +533,18 @@ type (
 	// CellOptions carries the per-cell measurement knobs ResolveCell
 	// canonicalizes into a key.
 	CellOptions = core.CellOptions
+	// DiskStore is the crash-safe persistent result tier: addressed
+	// bodies in tamper-evident authenticated envelopes, written
+	// atomically (temp + fsync + rename); any entry failing
+	// authentication reads as a miss and is quarantined. It backs the
+	// service's -cache-dir tier and the sweep's -resume directory.
+	DiskStore = diskcache.Store
+	// DiskCounters is a DiskStore's hit/miss/reject/write accounting.
+	DiskCounters = diskcache.Counters
+	// ResumeSummary accounts one incremental sweep: cells reused from
+	// disk versus computed, and why (new, changed inputs, invalid
+	// entry).
+	ResumeSummary = core.ResumeSummary
 )
 
 // Service and cell-level entry points.
@@ -552,6 +565,17 @@ var (
 	// RunExperiment executes a single engine experiment outside any
 	// worker pool (same seeding and panic confinement as a pooled run).
 	RunExperiment = engine.RunOne
+	// OpenDiskStore opens (or creates) a persistent result tier under a
+	// directory, keyed by a shared secret.
+	OpenDiskStore = diskcache.Open
+	// SweepResume runs a grid selection incrementally against a
+	// DiskStore: authenticated on-disk cells are reused bit-identically,
+	// only changed/new/invalid cells compute (the `intrust sweep
+	// -resume` CLI path).
+	SweepResume = core.SweepResume
+	// CellResultAddr is the DiskStore address of one cell's persisted
+	// sweep result (namespaced apart from the serve tier's bodies).
+	CellResultAddr = core.ResultAddr
 )
 
 // Remote attestation lifecycle: deterministic enclave measurement,
