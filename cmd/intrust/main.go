@@ -7,7 +7,7 @@
 //
 //	intrust [-quick] [fig1|arch|cachesca|transient|physical|all]
 //	intrust sweep [-arch a,b|all] [-attack scenario|family,...|all] [-defense none|stock|name,...|all] [-samples N] [-confidence C] [-maxsamples N] [-parallel N] [-shard N] [-json] [-diff] [-resume dir] [-cache-secret s] [-cpuprofile f] [-memprofile f] [-mutexprofile f]
-//	intrust serve [-addr :8089] [-cache N] [-cache-bytes N] [-cache-dir d] [-cache-secret s] [-warm] [-maxinflight N] [-queue N] [-seed N] [-drain 30s]
+//	intrust serve [-addr :8089] [-cache N] [-cache-bytes N] [-cache-dir d] [-cache-secret s] [-warm] [-maxinflight N] [-queue N] [-seed N] [-drain 30s] [-deadline 0] [-fault plan] [-fault-seed N]
 //	intrust attacks [-family f] [-markdown] [-o file]
 //	intrust defenses [-family f] [-markdown] [-o file]
 //	intrust bench [-o BENCH_sweep.json] [-baseline file] [-maxregress 0.25] [-parallel N] [-gomaxprocs N]
@@ -76,6 +76,7 @@ import (
 	"github.com/intrust-sim/intrust/internal/defense"
 	"github.com/intrust-sim/intrust/internal/diskcache"
 	"github.com/intrust-sim/intrust/internal/engine"
+	"github.com/intrust-sim/intrust/internal/fault"
 	"github.com/intrust-sim/intrust/internal/perf"
 	"github.com/intrust-sim/intrust/internal/scenario"
 	"github.com/intrust-sim/intrust/internal/serve"
@@ -418,16 +419,30 @@ func runServe(args []string) int {
 	queue := fs.Int("queue", 64, "admission queue depth before requests are answered 429")
 	seed := fs.Int64("seed", 0, "base engine seed cells compute under")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown bound for in-flight cells")
+	deadline := fs.Duration("deadline", 0, "per-request compute deadline (0 disables); past it requests answer 503")
+	faultPlan := fs.String("fault", "", "chaos fault plan, e.g. 'disk.write:p=1;engine.stall:p=0.1,delay=50ms' (see docs/RESILIENCE.md); empty disables injection")
+	faultSeed := fs.Int64("fault-seed", 1, "seed of the deterministic fault schedule (same plan+seed replays identically)")
 	fs.Parse(args)
 
+	var plane *fault.Plane
+	if *faultPlan != "" {
+		var perr error
+		if plane, perr = fault.Parse(*faultSeed, *faultPlan); perr != nil {
+			fmt.Fprintf(os.Stderr, "serve: -fault: %v\n", perr)
+			return 2
+		}
+		fmt.Printf("[fault plane armed: %v (seed %d)]\n", plane.Names(), *faultSeed)
+	}
 	s, err := serve.New(serve.Options{
-		CacheEntries: *cacheN,
-		CacheBytes:   *cacheBytes,
-		CacheDir:     *cacheDir,
-		CacheSecret:  *cacheSecret,
-		MaxInFlight:  *maxInFlight,
-		QueueDepth:   *queue,
-		Seed:         *seed,
+		CacheEntries:    *cacheN,
+		CacheBytes:      *cacheBytes,
+		CacheDir:        *cacheDir,
+		CacheSecret:     *cacheSecret,
+		MaxInFlight:     *maxInFlight,
+		QueueDepth:      *queue,
+		Seed:            *seed,
+		Faults:          plane,
+		ComputeDeadline: *deadline,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/intrust-sim/intrust/internal/stats"
+)
+
+// TestRunCellCancelledContext pins cooperative cancellation through the
+// cell runner: a dead context stops both the adaptive and fixed-budget
+// paths at their first checkpoint — no verdict is ever produced from a
+// partial measurement, and the failure names the cancellation.
+func TestRunCellCancelledContext(t *testing.T) {
+	for name, opt := range map[string]CellOptions{
+		"adaptive": {Confidence: stats.DefaultConfidence},
+		"fixed":    {Samples: 64},
+	} {
+		key, err := ResolveCell("spectre-v1", "sgx", "none", opt)
+		if err != nil {
+			t.Fatalf("%s: ResolveCell: %v", name, err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		start := time.Now()
+		res, err := RunCell(ctx, key)
+		if elapsed := time.Since(start); elapsed > 30*time.Second {
+			t.Fatalf("%s: cancelled cell still ran %v", name, elapsed)
+		}
+		if err == nil && !res.Failed() {
+			t.Fatalf("%s: cancelled cell produced verdict %q", name, res.Verdict)
+		}
+		if err == nil && !strings.Contains(res.Err, "context canceled") {
+			t.Fatalf("%s: failure %q does not name the cancellation", name, res.Err)
+		}
+	}
+}

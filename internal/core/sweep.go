@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -366,6 +367,9 @@ func sweepExperiment(sc scenario.Scenario, arch string, sel defenseSel, opt Swee
 	}
 	if opt.Adaptive == nil {
 		exp.Run = func(ctx *engine.Ctx) (engine.Outcome, error) {
+			if err := ctx.Context.Err(); err != nil {
+				return engine.Outcome{}, err
+			}
 			env, err := scenario.NewEnvWithDefenses(arch, ctx.Samples, ctx.Seed, ctx.RNG, defs)
 			if err != nil {
 				return engine.Outcome{}, err
@@ -382,7 +386,7 @@ func sweepExperiment(sc scenario.Scenario, arch string, sel defenseSel, opt Swee
 			return engine.Outcome{}, err
 		}
 		env.BindScratch(ctx.Scratch)
-		return adaptiveCell(sc, env, pol, ctx.Samples)
+		return adaptiveCell(ctx.Context, sc, env, pol, ctx.Samples)
 	}
 	return exp
 }
@@ -397,7 +401,21 @@ func sweepExperiment(sc scenario.Scenario, arch string, sel defenseSel, opt Swee
 // passes (demanded by high confidence targets or disagreeing passes —
 // the escalation path) derive their seeds from the job seed and the pass
 // index, keeping stopping points independent of engine parallelism.
-func adaptiveCell(sc scenario.Scenario, base *scenario.Env, pol stats.Policy, reference int) (engine.Outcome, error) {
+//
+// Cancellation is cooperative at checkpoint granularity: the context is
+// checked between passes, and sequential passes run under a plan bound
+// to it (stats.Plan.Bind), so a cancelled cell — a disconnected HTTP
+// client, an expired compute deadline — stops extending its sample set
+// within one SPRT checkpoint and surfaces the context's error instead
+// of a truncated measurement. Cancellation never produces a partial
+// verdict: the interrupted pass's outcome is discarded wholesale.
+func adaptiveCell(ctx context.Context, sc scenario.Scenario, base *scenario.Env, pol stats.Policy, reference int) (engine.Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return engine.Outcome{}, err
+	}
 	if scenario.IsOneShot(sc) {
 		out, err := sc.Mount(base)
 		if err != nil {
@@ -412,11 +430,17 @@ func adaptiveCell(sc scenario.Scenario, base *scenario.Env, pol stats.Policy, re
 	var out engine.Outcome
 	var err error
 	for t.NeedMore() {
+		if cerr := ctx.Err(); cerr != nil {
+			return engine.Outcome{}, cerr
+		}
 		env := base.Batch(t.Passes(), reference)
 		used := reference
 		if seq {
-			plan := stats.NewPlan(t.Policy(), reference)
+			plan := stats.NewPlan(t.Policy(), reference).Bind(ctx)
 			out, err = scenario.MountSeq(sc, env, plan)
+			if plan.Cancelled() {
+				return engine.Outcome{}, ctx.Err()
+			}
 			used = plan.Used()
 		} else {
 			out, err = sc.Mount(env)

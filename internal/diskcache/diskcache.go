@@ -34,6 +34,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync/atomic"
+
+	"github.com/intrust-sim/intrust/internal/fault"
 )
 
 // Envelope layout (all integers big-endian):
@@ -152,6 +154,10 @@ type Counters struct {
 	Rejects int64
 	// Writes are entries durably persisted.
 	Writes int64
+	// IOErrors are reads or writes that failed at the storage layer
+	// (real or injected) — the disk-health signal, distinct from
+	// Rejects (bad bytes) and Misses (no entry).
+	IOErrors int64
 }
 
 // Store is one on-disk cache directory under one secret. It is safe
@@ -162,10 +168,16 @@ type Store struct {
 	dir    string
 	macKey []byte
 
+	// faults is the optional chaos seam (nil in production): injected
+	// read/write IO errors and at-rest corruption, armed by the fault
+	// plane's seeded schedules. Set it before the store sees traffic.
+	faults *fault.Plane
+
 	hits    atomic.Int64
 	misses  atomic.Int64
 	rejects atomic.Int64
 	writes  atomic.Int64
+	ioErrs  atomic.Int64
 }
 
 // Open creates (if needed) and opens the cache directory. Leftover
@@ -190,6 +202,23 @@ func Open(dir, secret string) (*Store, error) {
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
 
+// Fault-point names this store probes (see internal/fault's catalog).
+const (
+	// FaultRead injects an IO error (and/or latency) on entry reads.
+	FaultRead = "disk.read"
+	// FaultWrite injects an IO error (and/or latency) on entry writes.
+	FaultWrite = "disk.write"
+	// FaultCorrupt flips a byte of a read envelope before decode —
+	// at-rest corruption, exercising the authenticate-and-quarantine
+	// path.
+	FaultCorrupt = "disk.corrupt"
+)
+
+// SetFaults installs the chaos seam (nil disables it). Call it before
+// the store sees traffic; the plane itself is concurrency-safe but the
+// pointer swap is not synchronized against in-flight operations.
+func (s *Store) SetFaults(p *fault.Plane) { s.faults = p }
+
 // path maps an address to its file: a digest filename, so addresses of
 // any length and alphabet are valid and no address bytes leak into
 // directory listings.
@@ -200,15 +229,42 @@ func (s *Store) path(addr string) string {
 
 // Get reads the body stored under addr. Every failure mode — no file,
 // truncated or torn file, failed authentication, stale version, wrong
-// address echo — is a miss; files that were present but refused are
-// additionally quarantined so the next read of the address is a clean
-// miss rather than a repeated decode of known-bad bytes.
+// address echo, an IO error — is a miss; files that were present but
+// refused are additionally quarantined so the next read of the address
+// is a clean miss rather than a repeated decode of known-bad bytes.
 func (s *Store) Get(addr string) ([]byte, bool) {
+	body, ok, _ := s.GetE(addr)
+	return body, ok
+}
+
+// GetE is Get with the storage-health signal surfaced: ioErr is non-nil
+// exactly when the read failed for a reason other than the entry not
+// existing (a real or injected IO fault). The body contract is
+// unchanged — an IO error still reads as a miss, never a served error —
+// but callers running a circuit breaker over the disk tier (the serve
+// layer) need to tell "nothing there" from "the disk is failing".
+func (s *Store) GetE(addr string) (body []byte, ok bool, ioErr error) {
 	path := s.path(addr)
+	if err := s.faults.Fail(FaultRead); err != nil {
+		s.ioErrs.Add(1)
+		s.misses.Add(1)
+		return nil, false, err
+	}
 	env, err := os.ReadFile(path)
 	if err != nil {
 		s.misses.Add(1)
-		return nil, false
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		s.ioErrs.Add(1)
+		return nil, false, err
+	}
+	if s.faults.Fire(FaultCorrupt) && len(env) > 0 {
+		// At-rest rot: flip one byte of what the disk returned. The
+		// envelope now genuinely fails authentication, so the normal
+		// reject path quarantines the (actually intact) file and the
+		// caller recomputes — never a served corrupt body.
+		env[len(env)/2] ^= 0xFF
 	}
 	gotAddr, body, err := decode(s.macKey, env)
 	if err == nil && gotAddr != addr {
@@ -217,10 +273,10 @@ func (s *Store) Get(addr string) ([]byte, bool) {
 	if err != nil {
 		s.quarantine(path)
 		s.rejects.Add(1)
-		return nil, false
+		return nil, false, nil
 	}
 	s.hits.Add(1)
-	return body, true
+	return body, true, nil
 }
 
 // Has reports whether a file exists for addr without reading or
@@ -248,9 +304,14 @@ func (s *Store) quarantine(path string) {
 // crash at any point leaves either the previous entry or the complete
 // new one at the final path — never a torn write.
 func (s *Store) Put(addr string, body []byte) error {
+	if err := s.faults.Fail(FaultWrite); err != nil {
+		s.ioErrs.Add(1)
+		return fmt.Errorf("diskcache: %w", err)
+	}
 	env := encode(s.macKey, addr, body)
 	f, err := os.CreateTemp(s.dir, "put-*.tmp")
 	if err != nil {
+		s.ioErrs.Add(1)
 		return fmt.Errorf("diskcache: %w", err)
 	}
 	tmp := f.Name()
@@ -265,6 +326,7 @@ func (s *Store) Put(addr string, body []byte) error {
 	}
 	if err != nil {
 		os.Remove(tmp)
+		s.ioErrs.Add(1)
 		return fmt.Errorf("diskcache: %w", err)
 	}
 	s.syncDir()
@@ -288,9 +350,10 @@ func (s *Store) syncDir() {
 // Counters returns a snapshot of the store's traffic accounting.
 func (s *Store) Counters() Counters {
 	return Counters{
-		Hits:    s.hits.Load(),
-		Misses:  s.misses.Load(),
-		Rejects: s.rejects.Load(),
-		Writes:  s.writes.Load(),
+		Hits:     s.hits.Load(),
+		Misses:   s.misses.Load(),
+		Rejects:  s.rejects.Load(),
+		Writes:   s.writes.Load(),
+		IOErrors: s.ioErrs.Load(),
 	}
 }

@@ -29,10 +29,32 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"github.com/intrust-sim/intrust/internal/fault"
 	"github.com/intrust-sim/intrust/internal/stats"
 )
+
+// faultPlane is the optional chaos seam: compute stalls and injected
+// panics, armed per-process (the serve layer wires it from its
+// Options, the CLI from -fault). Panics injected here are confined by
+// runOne's recover exactly like a misbehaving scenario's would be, so
+// the chaos suite can prove panic confinement end to end.
+var faultPlane atomic.Pointer[fault.Plane]
+
+// Fault-point names the engine probes (see internal/fault's catalog).
+const (
+	// FaultStall injects a context-aware delay before a job runs.
+	FaultStall = "engine.stall"
+	// FaultPanic panics inside a job's compute (confined to a failed
+	// Result by the per-job recover).
+	FaultPanic = "engine.panic"
+)
+
+// SetFaultPlane installs (or, with nil, removes) the process-wide
+// fault-injection plane the engine probes before every job.
+func SetFaultPlane(p *fault.Plane) { faultPlane.Store(p) }
 
 // gcTuneOnce applies the sweep's GC pacing once per process. The
 // workload is churn-heavy with a small live set: platform-scale buffers
@@ -444,6 +466,12 @@ func runOne(ctx context.Context, exp Experiment, scratch *Scratch) (res Result) 
 	if exp.Run == nil {
 		res.Err = "experiment has no Run function"
 		return res
+	}
+	if p := faultPlane.Load(); p != nil {
+		p.Stall(ctx, FaultStall)
+		if p.Fire(FaultPanic) {
+			panic("fault: injected engine panic")
+		}
 	}
 	out, err := exp.Run(jctx)
 	res.Outcome = out

@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/intrust-sim/intrust/internal/fault"
+)
+
+func cleanExperiment(name string) Experiment {
+	return Experiment{
+		Name: name, Attack: "synthetic", Samples: 1, Seed: 7,
+		Run: func(*Ctx) (Outcome, error) { return Outcome{Verdict: "fine"}, nil },
+	}
+}
+
+// TestFaultPanicConfined pins the engine.panic fault point end to end:
+// an injected panic inside a job converts to a failed Result — the
+// same confinement real scenario panics get — and once the fault
+// budget is spent the same experiment runs clean.
+func TestFaultPanicConfined(t *testing.T) {
+	plane := fault.New(1)
+	plane.Arm(FaultPanic, fault.Spec{Prob: 1, Limit: 1})
+	SetFaultPlane(plane)
+	defer SetFaultPlane(nil)
+
+	res := RunOne(context.Background(), cleanExperiment("chaos"))
+	if !res.Failed() || !strings.Contains(res.Err, "injected engine panic") {
+		t.Fatalf("faulted run: Failed=%v Err=%q, want a confined injected panic", res.Failed(), res.Err)
+	}
+	res = RunOne(context.Background(), cleanExperiment("chaos"))
+	if res.Failed() {
+		t.Fatalf("post-budget run failed: %s", res.Err)
+	}
+}
+
+// TestFaultStallHonorsContext pins the engine.stall fault point: a
+// stall far longer than the context's deadline ends at the deadline,
+// not the stall — the seam the serve tier's compute deadline and
+// client-disconnect guarantees stand on.
+func TestFaultStallHonorsContext(t *testing.T) {
+	plane := fault.New(1)
+	plane.Arm(FaultStall, fault.Spec{Prob: 1, Delay: time.Minute})
+	SetFaultPlane(plane)
+	defer SetFaultPlane(nil)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	RunOne(ctx, cleanExperiment("stalled"))
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("stall ignored the context deadline (ran %v)", elapsed)
+	}
+}

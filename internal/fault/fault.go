@@ -1,0 +1,317 @@
+// Package fault is the deterministic fault-injection plane: a
+// dependency-free registry of named failure points (disk IO errors and
+// latency, at-rest envelope corruption, engine compute stalls and
+// panics, listener-level connection drops) that production code probes
+// through near-zero-cost hook seams and chaos tests arm with seeded
+// schedules.
+//
+// Determinism is the design center. Every decision at a point is a pure
+// function of (plane seed, point name, hit index): hit h of point p
+// fires iff a hash-derived uniform draw under the plane's seed falls
+// below the armed probability. No shared RNG stream exists, so
+// concurrent points never perturb each other's schedules and a chaos
+// run replays bit-identically — the same seed arms the same faults at
+// the same hit indices, under any goroutine interleaving of distinct
+// points.
+//
+// The plane is nil-safe: every method on a nil *Plane is a no-op that
+// reports "no fault", so production seams cost one nil check when chaos
+// is disarmed and packages can hold an optional *Plane without guards.
+//
+// The point catalog (names are a convention between the seams and the
+// chaos suites, not an enum):
+//
+//	disk.read      IO error reading a persistent-cache entry (+latency)
+//	disk.write     IO error persisting a write-behind entry (+latency)
+//	disk.corrupt   at-rest envelope corruption (a flipped byte before
+//	               decode, exercising the authenticate-and-quarantine
+//	               path)
+//	engine.stall   compute stall before a cell runs (latency only;
+//	               context-aware, so cancellation still wins)
+//	engine.panic   panic inside a cell's compute (confined by the
+//	               engine's per-job recover)
+//	listener.drop  accepted connection closed before a byte is served
+package fault
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Spec configures one armed fault point. The zero value fires on every
+// hit with no delay and a generic injected error.
+type Spec struct {
+	// Prob is the per-hit fire probability; <= 0 or >= 1 fires always.
+	Prob float64
+	// After skips the first After hits before the schedule arms.
+	After int
+	// Limit caps the total fires (0 = unlimited) — e.g. "fail exactly
+	// twice, then heal", the breaker-recovery shape.
+	Limit int
+	// Delay is injected latency applied on every fire (alone for
+	// stall-type points, alongside the error for IO points).
+	Delay time.Duration
+	// Err is the injected error message; "" selects
+	// "fault: injected <name>".
+	Err string
+}
+
+// armed is one point's runtime state: the spec plus its monotone hit
+// and fire counters.
+type armed struct {
+	spec  Spec
+	hits  atomic.Int64
+	fires atomic.Int64
+}
+
+// Plane is a set of armed fault points under one seed. It is safe for
+// concurrent use; arming and disarming are expected at test/boot
+// setup, hits on the hot path.
+type Plane struct {
+	seed   int64
+	mu     sync.RWMutex
+	points map[string]*armed
+}
+
+// New returns an empty plane whose schedules derive from seed.
+func New(seed int64) *Plane {
+	return &Plane{seed: seed, points: make(map[string]*armed)}
+}
+
+// Seed returns the plane's schedule seed.
+func (p *Plane) Seed() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.seed
+}
+
+// Arm installs (or replaces) the spec for a named point, resetting its
+// counters.
+func (p *Plane) Arm(name string, s Spec) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.points[name] = &armed{spec: s}
+}
+
+// Disarm removes a point; later hits report no fault.
+func (p *Plane) Disarm(name string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.points, name)
+}
+
+// Reset disarms every point.
+func (p *Plane) Reset() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.points = make(map[string]*armed)
+}
+
+// decide is the deterministic core: record one hit at name and report
+// whether it fires, returning the armed spec when it does.
+func (p *Plane) decide(name string) (Spec, bool) {
+	if p == nil {
+		return Spec{}, false
+	}
+	p.mu.RLock()
+	a := p.points[name]
+	p.mu.RUnlock()
+	if a == nil {
+		return Spec{}, false
+	}
+	h := a.hits.Add(1) - 1 // 0-based hit index
+	if h < int64(a.spec.After) {
+		return Spec{}, false
+	}
+	if a.spec.Prob > 0 && a.spec.Prob < 1 && draw(p.seed, name, h) >= a.spec.Prob {
+		return Spec{}, false
+	}
+	if a.spec.Limit > 0 {
+		// Claim a fire slot atomically; losers past the limit pass clean.
+		for {
+			n := a.fires.Load()
+			if n >= int64(a.spec.Limit) {
+				return Spec{}, false
+			}
+			if a.fires.CompareAndSwap(n, n+1) {
+				return a.spec, true
+			}
+		}
+	}
+	a.fires.Add(1)
+	return a.spec, true
+}
+
+// draw maps (seed, name, hit) to a uniform in [0,1) via FNV-1a — the
+// stateless per-hit schedule that makes runs replayable without a
+// shared RNG stream.
+func draw(seed int64, name string, hit int64) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	var b [16]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(seed) >> (8 * i))
+		b[8+i] = byte(uint64(hit) >> (8 * i))
+	}
+	h.Write(b[:])
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// Fire records one hit and reports whether the point fires, applying
+// any armed delay. The boolean form for faults that are not errors
+// (corruption, connection drops).
+func (p *Plane) Fire(name string) bool {
+	s, ok := p.decide(name)
+	if ok && s.Delay > 0 {
+		time.Sleep(s.Delay)
+	}
+	return ok
+}
+
+// Fail records one hit and returns the injected error when the point
+// fires (nil otherwise), applying any armed delay first — the seam
+// shape for IO-style fault points.
+func (p *Plane) Fail(name string) error {
+	s, ok := p.decide(name)
+	if !ok {
+		return nil
+	}
+	if s.Delay > 0 {
+		time.Sleep(s.Delay)
+	}
+	if s.Err != "" {
+		return fmt.Errorf("fault: %s", s.Err)
+	}
+	return fmt.Errorf("fault: injected %s", name)
+}
+
+// Stall records one hit and, when the point fires, sleeps the armed
+// delay or until ctx is done, whichever comes first — the seam shape
+// for compute-stall points, where cancellation must still win.
+func (p *Plane) Stall(ctx context.Context, name string) {
+	s, ok := p.decide(name)
+	if !ok || s.Delay <= 0 {
+		return
+	}
+	t := time.NewTimer(s.Delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// Count is one point's traffic snapshot.
+type Count struct {
+	// Hits is how many times the seam probed the point.
+	Hits int64
+	// Fires is how many of those hits injected the fault.
+	Fires int64
+}
+
+// Counters snapshots every armed point's hit/fire accounting, keyed by
+// point name.
+func (p *Plane) Counters() map[string]Count {
+	if p == nil {
+		return nil
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make(map[string]Count, len(p.points))
+	for name, a := range p.points {
+		out[name] = Count{Hits: a.hits.Load(), Fires: a.fires.Load()}
+	}
+	return out
+}
+
+// Names returns the armed point names, sorted (for deterministic
+// metrics rendering).
+func (p *Plane) Names() []string {
+	if p == nil {
+		return nil
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]string, 0, len(p.points))
+	for name := range p.points {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Parse builds a plane from a textual arming plan — the CLI's -fault
+// flag and the chaos CI jobs speak this format:
+//
+//	point[:key=value[,key=value...]][;point...]
+//
+// Keys: p (fire probability, default 1), after (hits skipped), limit
+// (max fires), delay (Go duration), err (injected message). Example:
+//
+//	disk.write:p=1,limit=5;disk.read:p=0.25;engine.stall:delay=50ms
+//
+// An empty plan returns a plane with no armed points.
+func Parse(seed int64, plan string) (*Plane, error) {
+	p := New(seed)
+	for _, tok := range strings.Split(plan, ";") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		name, opts, _ := strings.Cut(tok, ":")
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("fault: empty point name in %q", tok)
+		}
+		var s Spec
+		if opts != "" {
+			for _, kv := range strings.Split(opts, ",") {
+				k, v, ok := strings.Cut(kv, "=")
+				k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+				if !ok || v == "" {
+					return nil, fmt.Errorf("fault: %s: want key=value, got %q", name, kv)
+				}
+				var err error
+				switch k {
+				case "p":
+					s.Prob, err = strconv.ParseFloat(v, 64)
+					if err == nil && (s.Prob < 0 || s.Prob > 1) {
+						err = fmt.Errorf("probability %v outside [0,1]", s.Prob)
+					}
+				case "after":
+					s.After, err = strconv.Atoi(v)
+				case "limit":
+					s.Limit, err = strconv.Atoi(v)
+				case "delay":
+					s.Delay, err = time.ParseDuration(v)
+				case "err":
+					s.Err = v
+				default:
+					err = fmt.Errorf("unknown key (want p|after|limit|delay|err)")
+				}
+				if err != nil {
+					return nil, fmt.Errorf("fault: %s: %s: %v", name, k, err)
+				}
+			}
+		}
+		p.Arm(name, s)
+	}
+	return p, nil
+}

@@ -1,0 +1,187 @@
+package fault
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A plane replays bit-identically: the same seed arms the same schedule
+// at the same hit indices, run after run.
+func TestScheduleDeterminism(t *testing.T) {
+	record := func(seed int64) []bool {
+		p := New(seed)
+		p.Arm("disk.read", Spec{Prob: 0.4})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = p.Fire("disk.read")
+		}
+		return out
+	}
+	a, b := record(7), record(7)
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d diverged across identical runs", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("p=0.4 schedule fired %d/%d hits; want a proper subset", fires, len(a))
+	}
+	c := record(8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("seeds 7 and 8 produced identical schedules")
+	}
+}
+
+// Distinct points draw independent schedules: hitting one point never
+// perturbs another's decisions — the property that makes concurrent
+// chaos runs replayable.
+func TestPointIndependence(t *testing.T) {
+	solo := New(3)
+	solo.Arm("a", Spec{Prob: 0.5})
+	var want []bool
+	for i := 0; i < 64; i++ {
+		want = append(want, solo.Fire("a"))
+	}
+
+	mixed := New(3)
+	mixed.Arm("a", Spec{Prob: 0.5})
+	mixed.Arm("b", Spec{Prob: 0.5})
+	for i := 0; i < 64; i++ {
+		mixed.Fire("b") // interleave traffic on an unrelated point
+		if got := mixed.Fire("a"); got != want[i] {
+			t.Fatalf("hit %d of point a changed because point b saw traffic", i)
+		}
+	}
+}
+
+func TestAfterAndLimit(t *testing.T) {
+	p := New(1)
+	p.Arm("x", Spec{After: 3, Limit: 2})
+	var fired []int
+	for i := 0; i < 10; i++ {
+		if p.Fire("x") {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 4 {
+		t.Fatalf("After=3 Limit=2 fired at %v; want [3 4]", fired)
+	}
+	c := p.Counters()["x"]
+	if c.Hits != 10 || c.Fires != 2 {
+		t.Fatalf("counters = %+v; want 10 hits, 2 fires", c)
+	}
+}
+
+func TestFailAndErrMessage(t *testing.T) {
+	p := New(1)
+	p.Arm("disk.write", Spec{})
+	if err := p.Fail("disk.write"); err == nil || !strings.Contains(err.Error(), "injected disk.write") {
+		t.Fatalf("default error = %v; want injected disk.write", err)
+	}
+	p.Arm("disk.write", Spec{Err: "EIO"})
+	if err := p.Fail("disk.write"); err == nil || !strings.Contains(err.Error(), "EIO") {
+		t.Fatalf("custom error = %v; want EIO", err)
+	}
+	if err := p.Fail("unarmed"); err != nil {
+		t.Fatalf("unarmed point failed: %v", err)
+	}
+}
+
+// A nil plane is a no-op at every seam: production code pays one nil
+// check, never a guard.
+func TestNilPlaneSafe(t *testing.T) {
+	var p *Plane
+	if p.Fire("x") || p.Fail("x") != nil || p.Counters() != nil || p.Names() != nil || p.Seed() != 0 {
+		t.Fatal("nil plane reported a fault")
+	}
+	p.Arm("x", Spec{})
+	p.Disarm("x")
+	p.Reset()
+	p.Stall(context.Background(), "x")
+}
+
+// Stall returns as soon as the context cancels: an injected compute
+// stall can never outlive its request.
+func TestStallRespectsContext(t *testing.T) {
+	p := New(1)
+	p.Arm("engine.stall", Spec{Delay: time.Minute})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		p.Stall(ctx, "engine.stall")
+		close(done)
+	}()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stall ignored context cancellation")
+	}
+}
+
+func TestParse(t *testing.T) {
+	p, err := Parse(42, "disk.write:p=1,limit=5;disk.read:p=0.25,err=EIO;engine.stall:delay=50ms,after=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Names(); len(got) != 3 {
+		t.Fatalf("parsed %v; want 3 points", got)
+	}
+	if p.Seed() != 42 {
+		t.Fatalf("seed = %d; want 42", p.Seed())
+	}
+	if !p.Fire("disk.write") {
+		t.Fatal("disk.write p=1 did not fire")
+	}
+
+	empty, err := Parse(0, "  ")
+	if err != nil || len(empty.Names()) != 0 {
+		t.Fatalf("empty plan: plane %v err %v", empty.Names(), err)
+	}
+
+	for _, bad := range []string{":p=1", "x:p", "x:p=2", "x:delay=abc", "x:zzz=1", "x:p="} {
+		if _, err := Parse(0, bad); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed plan", bad)
+		}
+	}
+}
+
+// The plane is safe under concurrent hits, arms and snapshots.
+func TestConcurrentHits(t *testing.T) {
+	p := New(9)
+	p.Arm("x", Spec{Prob: 0.5})
+	p.Arm("y", Spec{Limit: 10})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p.Fire("x")
+				p.Fail("y")
+				p.Counters()
+			}
+		}()
+	}
+	wg.Wait()
+	c := p.Counters()
+	if c["x"].Hits != 1600 || c["y"].Hits != 1600 {
+		t.Fatalf("counters = %+v; want 1600 hits each", c)
+	}
+	if c["y"].Fires != 10 {
+		t.Fatalf("limit 10 point fired %d times under concurrency", c["y"].Fires)
+	}
+}

@@ -1,10 +1,13 @@
 package serve
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"net/url"
 	"runtime"
@@ -77,6 +80,11 @@ type SweepSummary struct {
 	CacheHits   int            `json:"cache_hits"`
 	CacheMisses int            `json:"cache_misses"`
 	Verdicts    map[string]int `json:"verdicts,omitempty"`
+	// Error is set when the stream stopped before streaming every
+	// selected cell: the summary line still arrives, so a client can
+	// always distinguish "sweep failed mid-stream" (summary with error)
+	// from "connection truncated" (no summary line at all).
+	Error string `json:"error,omitempty"`
 }
 
 // axisToken normalizes one HTTP axis value: trimmed, with spaces
@@ -142,6 +150,70 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// readiness is the /readyz body: a load balancer's routing decision in
+// one field, with the disk breaker's state alongside for operators.
+type readiness struct {
+	// Status is healthy (full service), degraded (serving memory-only
+	// because the disk breaker is not closed — still routable), or
+	// draining (shutting down — stop routing here).
+	Status string `json:"status"`
+	// Disk is the persistent tier's breaker state (closed, open,
+	// half-open); omitted when no disk tier is configured.
+	Disk string `json:"disk,omitempty"`
+}
+
+// handleReadyz reports readiness as JSON. Unlike every other endpoint
+// it keeps answering while draining (registered through
+// instrumentAlways): draining is a state it must report, not a gate
+// that should blank it. Degraded is still 200 — a memory-only server
+// answers correctly, just cold across restarts — while draining is 503
+// so balancers stop routing.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	body := readiness{Status: "healthy"}
+	if s.disk != nil {
+		state := s.brk.snapshot()
+		body.Disk = stateName(state)
+		if state != breakerClosed {
+			body.Status = "degraded"
+		}
+	}
+	code := http.StatusOK
+	if s.draining.Load() {
+		body.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(body)
+}
+
+// computeCtx derives the context a request's admission wait and
+// compute run under: the request context (client disconnect propagates
+// as cancellation) bounded by Options.ComputeDeadline when one is set.
+func (s *Server) computeCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opts.ComputeDeadline > 0 {
+		return context.WithTimeout(r.Context(), s.opts.ComputeDeadline)
+	}
+	return r.Context(), func() {}
+}
+
+// writeComputeError maps a compute failure onto its status: a fired
+// compute deadline or a vanished client is a 503 (the service is
+// refusing/abandoning work, not broken), anything else is the 500 it
+// always was.
+func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.deadlineRejects.Add(1)
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("compute deadline %s exceeded; narrow the selection or raise -deadline", s.opts.ComputeDeadline))
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "request cancelled before the result was ready")
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
 // handleCell serves one grid cell: resolve the canonical key through
 // the sweep's own axis parsers (malformed values are structured 400s),
 // answer warm hits straight from the cache, and compute cold cells
@@ -182,15 +254,17 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 		writeCell(w, body, "disk")
 		return
 	}
-	release, err := s.adm.acquire(r.Context())
+	ctx, cancel := s.computeCtx(r)
+	defer cancel()
+	release, err := s.adm.acquire(ctx)
 	if err != nil {
-		writeAdmissionError(w, err)
+		s.writeAdmissionError(w, err)
 		return
 	}
 	defer release()
-	body, err := s.computeCell(r.Context(), key)
+	body, err := s.computeCell(ctx, key)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		s.writeComputeError(w, err)
 		return
 	}
 	writeCell(w, body, "miss")
@@ -233,15 +307,39 @@ func writeCell(w http.ResponseWriter, body []byte, cache string) {
 }
 
 // writeAdmissionError maps an acquire failure: a full queue is 429 with
-// a Retry-After hint (backpressure, not failure), a cancelled client is
-// 503.
-func writeAdmissionError(w http.ResponseWriter, err error) {
+// a Retry-After hint (backpressure, not failure) derived from observed
+// load, a cancelled client or fired deadline is 503.
+func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
 	if err == errQueueFull {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, "admission queue full; retry later")
 		return
 	}
-	writeError(w, http.StatusServiceUnavailable, err.Error())
+	s.writeComputeError(w, err)
+}
+
+// retryAfterSeconds derives the 429 Retry-After hint from observed
+// load instead of a constant: the mean cold-cell compute cost seen so
+// far, times the work queued ahead of a re-arriving client (current
+// waiters + in-flight + the client itself), spread across the compute
+// slots. Before any cold cell has landed a 250ms prior stands in for
+// the mean. Clamped to [1, 60]: sub-second answers still say 1 (the
+// header is integer seconds), and even a deeply backed-up queue should
+// re-probe within a minute rather than trusting a stale estimate.
+func (s *Server) retryAfterSeconds() int {
+	avg := 0.25
+	if n := s.met.cellsComputed.Load(); n > 0 {
+		avg = float64(s.met.cellComputeUS.Load()) / 1e6 / float64(n)
+	}
+	ahead := float64(s.adm.waiting.Load() + s.adm.inFlight.Load() + 1)
+	secs := int(math.Ceil(avg * ahead / float64(s.opts.MaxInFlight)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // handleSweep streams a grid selection as NDJSON, one Cell per line in
@@ -274,11 +372,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// slot it will barely use, which is the conservative direction — a
 	// cell whose disk entry later fails authentication still computes
 	// under a held slot, never outside the admission bound.
+	ctx, cancel := s.computeCtx(r)
+	defer cancel()
 	var release func()
 	for _, k := range keys {
 		if !s.cache.peek(k.Encode()) {
-			if release, err = s.adm.acquire(r.Context()); err != nil {
-				writeAdmissionError(w, err)
+			if release, err = s.adm.acquire(ctx); err != nil {
+				s.writeAdmissionError(w, err)
 				return
 			}
 			defer release()
@@ -318,15 +418,24 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				bodies[i-start], errs[i-start] = s.computeCell(r.Context(), keys[i])
+				bodies[i-start], errs[i-start] = s.computeCell(ctx, keys[i])
 			}(i)
 		}
 		wg.Wait()
 		for i := range bodies {
 			if errs[i] != nil {
 				// Headers are long gone; surface the failure as a
-				// distinguishable NDJSON line and stop the stream.
+				// distinguishable NDJSON error line, then still emit
+				// the terminal summary with the error recorded — a
+				// stream that simply ends is indistinguishable from a
+				// dropped connection, a summary with an error field is
+				// a deliberate stop.
 				enc.Encode(apiError{Error: errs[i].Error()})
+				sum.Error = errs[i].Error()
+				enc.Encode(sum)
+				if flusher != nil {
+					flusher.Flush()
+				}
 				return
 			}
 			w.Write(bodies[i])
@@ -440,9 +549,11 @@ func (s *Server) handleBench(w http.ResponseWriter, r *http.Request) {
 		writeCell(w, *b, "hit")
 		return
 	}
-	release, err := s.adm.acquire(r.Context())
+	ctx, cancel := s.computeCtx(r)
+	defer cancel()
+	release, err := s.adm.acquire(ctx)
 	if err != nil {
-		writeAdmissionError(w, err)
+		s.writeAdmissionError(w, err)
 		return
 	}
 	defer release()
@@ -467,5 +578,5 @@ func (s *Server) handleBench(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.render(w, s.cache, s.disk, s.adm)
+	s.met.render(w, s.cache, s.disk, s.adm, s.brk, s.faults)
 }

@@ -247,7 +247,7 @@ func (s *Server) handleAttestVerify(w http.ResponseWriter, r *http.Request) {
 	if s.revocationCold() {
 		release, err := s.adm.acquire(r.Context())
 		if err != nil {
-			writeAdmissionError(w, err)
+			s.writeAdmissionError(w, err)
 			return
 		}
 		defer release()
@@ -290,7 +290,7 @@ func (s *Server) handleAttestTCB(w http.ResponseWriter, r *http.Request) {
 	if s.revocationCold() {
 		release, err := s.adm.acquire(r.Context())
 		if err != nil {
-			writeAdmissionError(w, err)
+			s.writeAdmissionError(w, err)
 			return
 		}
 		defer release()

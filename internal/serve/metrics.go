@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/intrust-sim/intrust/internal/diskcache"
+	"github.com/intrust-sim/intrust/internal/fault"
 )
 
 // metrics is the service's Prometheus-style instrumentation: request
@@ -32,7 +33,11 @@ type metrics struct {
 	cellComputeUS  atomic.Int64 // summed compute wall clock, microseconds
 	cellsStreamed  atomic.Int64
 	cellErrors     atomic.Int64
-	diskWriteErrors atomic.Int64 // write-behind persists that failed
+	diskWriteErrors atomic.Int64 // write-behind persists that failed all retries
+	diskWriteRetries atomic.Int64 // backoff retries of failed persists
+	diskReadErrors  atomic.Int64 // disk-tier reads that failed at the IO layer
+	diskBypassed    atomic.Int64 // disk operations skipped by an open breaker
+	deadlineRejects atomic.Int64 // requests answered 503 by the compute deadline
 
 	revalidations  atomic.Int64 // /cell 304s answered from the content address
 	attestQuotes   atomic.Int64
@@ -95,7 +100,7 @@ func (m *metrics) observeCompute(d time.Duration, failed bool) {
 // and compute metrics above plus the cache, disk-tier and admission
 // state passed in (disk may be nil). Output is deterministically
 // ordered so scrapes diff cleanly.
-func (m *metrics) render(w io.Writer, cache *cellCache, disk *diskcache.Store, adm *admission) {
+func (m *metrics) render(w io.Writer, cache *cellCache, disk *diskcache.Store, adm *admission, brk *breaker, faults *fault.Plane) {
 	writeHeader := func(name, typ, help string) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 	}
@@ -173,8 +178,36 @@ func (m *metrics) render(w io.Writer, cache *cellCache, disk *diskcache.Store, a
 		fmt.Fprintf(w, "intrust_disk_rejects_total %d\n", c.Rejects)
 		writeHeader("intrust_disk_writes_total", "counter", "Cell bodies durably persisted to the disk tier.")
 		fmt.Fprintf(w, "intrust_disk_writes_total %d\n", c.Writes)
-		writeHeader("intrust_disk_write_errors_total", "counter", "Write-behind persists that failed (the response was served anyway).")
+		writeHeader("intrust_disk_write_errors_total", "counter", "Write-behind persists that failed all retries (the response was served anyway).")
 		fmt.Fprintf(w, "intrust_disk_write_errors_total %d\n", m.diskWriteErrors.Load())
+		writeHeader("intrust_disk_write_retries_total", "counter", "Backoff retries of failed write-behind persists.")
+		fmt.Fprintf(w, "intrust_disk_write_retries_total %d\n", m.diskWriteRetries.Load())
+		writeHeader("intrust_disk_read_errors_total", "counter", "Persistent-tier reads that failed at the IO layer (served as misses).")
+		fmt.Fprintf(w, "intrust_disk_read_errors_total %d\n", m.diskReadErrors.Load())
+		writeHeader("intrust_disk_io_errors_total", "counter", "Storage-layer read and write failures seen by the disk store itself.")
+		fmt.Fprintf(w, "intrust_disk_io_errors_total %d\n", c.IOErrors)
+		writeHeader("intrust_disk_bypassed_total", "counter", "Disk-tier operations skipped because the circuit breaker was open.")
+		fmt.Fprintf(w, "intrust_disk_bypassed_total %d\n", m.diskBypassed.Load())
+		writeHeader("intrust_disk_breaker_state", "gauge", "Disk-tier circuit breaker state: 0 closed, 1 open, 2 half-open.")
+		fmt.Fprintf(w, "intrust_disk_breaker_state %d\n", brk.snapshot())
+		writeHeader("intrust_disk_breaker_opens_total", "counter", "Times the disk-tier circuit breaker tripped open.")
+		fmt.Fprintf(w, "intrust_disk_breaker_opens_total %d\n", brk.opens.Load())
+	}
+
+	writeHeader("intrust_deadline_rejects_total", "counter", "Requests answered 503 because the compute deadline fired.")
+	fmt.Fprintf(w, "intrust_deadline_rejects_total %d\n", m.deadlineRejects.Load())
+
+	if faults != nil {
+		writeHeader("intrust_fault_injections_total", "counter", "Fault-plane injections that fired, by fault point.")
+		counters := faults.Counters()
+		names := make([]string, 0, len(counters))
+		for name := range counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, "intrust_fault_injections_total{point=%q} %d\n", name, counters[name].Fires)
+		}
 	}
 
 	writeHeader("intrust_inflight_requests", "gauge", "Requests currently holding a compute slot.")

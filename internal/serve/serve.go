@@ -49,7 +49,9 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"runtime"
 	"sync"
@@ -58,6 +60,8 @@ import (
 
 	"github.com/intrust-sim/intrust/internal/core"
 	"github.com/intrust-sim/intrust/internal/diskcache"
+	"github.com/intrust-sim/intrust/internal/engine"
+	"github.com/intrust-sim/intrust/internal/fault"
 	"github.com/intrust-sim/intrust/internal/perf"
 	"github.com/intrust-sim/intrust/internal/stats"
 )
@@ -107,6 +111,32 @@ type Options struct {
 	// (<= 0 selects 64; fixed-budget, so the derived state is identical
 	// across processes regardless of adaptive policy defaults).
 	RevocationSamples int
+	// Faults, when non-nil, arms the deterministic fault-injection plane
+	// (internal/fault) across the stack: disk read/write/corruption
+	// faults in the persistent tier, stall/panic faults in the engine,
+	// and connection drops at the listener. nil (the default) leaves
+	// every seam a no-op. Production servers never set this; the chaos
+	// suite and the -fault CLI flag do.
+	Faults *fault.Plane
+	// ComputeDeadline bounds one request's compute time (admission wait
+	// included): past it, the request answers 503 with a structured body
+	// instead of hanging the handler on a stuck cell. 0 disables the
+	// deadline.
+	ComputeDeadline time.Duration
+	// BreakerThreshold is how many consecutive disk-tier IO failures
+	// open the circuit breaker over the persistent cache (<= 0 selects
+	// 5). While open the server degrades to memory-only.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker bypasses the disk
+	// before probing it again half-open (<= 0 selects 5s).
+	BreakerCooldown time.Duration
+	// DiskRetries is how many times a failed write-behind persist
+	// retries with exponential backoff before counting as a failure
+	// (0 selects 2; negative disables retries).
+	DiskRetries int
+	// DiskRetryBase is the first retry's backoff, doubling per attempt
+	// (<= 0 selects 5ms).
+	DiskRetryBase time.Duration
 }
 
 // Server is the sweep-as-a-service HTTP handler plus its cache,
@@ -120,6 +150,8 @@ type Server struct {
 	met      *metrics
 	flight   *flightGroup
 	mux      *http.ServeMux
+	brk      *breaker     // circuit breaker over the disk tier (never nil)
+	faults   *fault.Plane // nil unless Options.Faults armed the chaos plane
 	draining atomic.Bool
 
 	benchFlight *flightGroup
@@ -151,13 +183,28 @@ func New(opts Options) (*Server, error) {
 	if opts.BenchConfigs == nil {
 		opts.BenchConfigs = perf.CanonicalConfigs()
 	}
+	switch {
+	case opts.DiskRetries == 0:
+		opts.DiskRetries = 2
+	case opts.DiskRetries < 0:
+		opts.DiskRetries = 0
+	}
+	if opts.DiskRetryBase <= 0 {
+		opts.DiskRetryBase = 5 * time.Millisecond
+	}
 	var disk *diskcache.Store
 	if opts.CacheDir != "" {
 		var err error
 		if disk, err = diskcache.Open(opts.CacheDir, opts.CacheSecret); err != nil {
 			return nil, err
 		}
+		disk.SetFaults(opts.Faults)
 	}
+	// The engine's fault seam is process-global (the engine has no
+	// per-server state); storing nil disarms it, so the last-constructed
+	// server's plane governs — fine for production (always nil) and for
+	// the chaos suite (one server at a time).
+	engine.SetFaultPlane(opts.Faults)
 	s := &Server{
 		opts:        opts,
 		cache:       newCellCache(opts.CacheEntries, opts.CacheBytes),
@@ -167,10 +214,13 @@ func New(opts Options) (*Server, error) {
 		flight:      newFlightGroup(),
 		benchFlight: newFlightGroup(),
 		mux:         http.NewServeMux(),
+		brk:         newBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
+		faults:      opts.Faults,
 	}
 	s.attest = newAttestState(opts)
 	s.buildCatalogs()
 	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("/readyz", s.instrumentAlways("/readyz", s.handleReadyz))
 	s.mux.HandleFunc("/cell", s.instrument("/cell", s.handleCell))
 	s.mux.HandleFunc("/sweep", s.instrument("/sweep", s.handleSweep))
 	s.mux.HandleFunc("/attacks", s.instrument("/attacks", s.handleAttacks))
@@ -197,13 +247,70 @@ func (s *Server) BeginDrain() { s.draining.Store(true) }
 // Draining reports whether BeginDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
+// Connection hygiene bounds pinned by TestHTTPServerTimeouts: a peer
+// that never finishes its headers, or an idle keep-alive connection,
+// must not hold a file descriptor forever.
+const (
+	// readHeaderTimeout bounds how long a connection may take to send
+	// its request headers (Slowloris protection).
+	readHeaderTimeout = 10 * time.Second
+	// idleTimeout bounds how long a keep-alive connection may sit idle
+	// between requests. Generous relative to request cadence: warm
+	// clients polling every minute stay connected, abandoned sockets
+	// do not.
+	idleTimeout = 120 * time.Second
+)
+
+// httpServer builds the http.Server ListenAndServe runs: the handler
+// plus the connection hygiene timeouts. ReadTimeout is deliberately
+// unset — /sweep responses stream for as long as the grid takes, and
+// the per-request ComputeDeadline already bounds compute.
+func (s *Server) httpServer(addr string) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           s,
+		ReadHeaderTimeout: readHeaderTimeout,
+		IdleTimeout:       idleTimeout,
+	}
+}
+
+// faultListener wraps the accept loop with the listener.drop fault
+// point: a fired accept closes the connection immediately (the client
+// sees a reset, exactly like a crashed peer) and keeps accepting.
+type faultListener struct {
+	net.Listener
+	faults *fault.Plane
+}
+
+// faultListenerDrop is the listener-level fault point name (see
+// internal/fault's catalog).
+const faultListenerDrop = "listener.drop"
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil || !l.faults.Fire(faultListenerDrop) {
+			return c, err
+		}
+		c.Close()
+	}
+}
+
 // ListenAndServe serves on addr until ctx is cancelled, then drains
 // gracefully: new requests are refused (503, then the listener closes)
 // while in-flight cells complete, bounded by drainTimeout.
 func (s *Server) ListenAndServe(ctx context.Context, addr string, drainTimeout time.Duration) error {
-	hs := &http.Server{Addr: addr, Handler: s}
+	hs := s.httpServer(addr)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	var lst net.Listener = ln
+	if s.faults != nil {
+		lst = &faultListener{Listener: ln, faults: s.faults}
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
+	go func() { errc <- hs.Serve(lst) }()
 	select {
 	case err := <-errc:
 		return err
@@ -224,10 +331,22 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, drainTimeout t
 // instrument wraps a handler with the draining gate and per-endpoint
 // request/latency metrics.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return s.wrap(endpoint, h, true)
+}
+
+// instrumentAlways is instrument without the draining gate: /readyz
+// must keep answering while draining — reporting {"status":"draining"}
+// as JSON is the whole point — where every other endpoint flips to a
+// blanket 503.
+func (s *Server) instrumentAlways(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return s.wrap(endpoint, h, false)
+}
+
+func (s *Server) wrap(endpoint string, h http.HandlerFunc, gateDrain bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		if s.draining.Load() {
+		if gateDrain && s.draining.Load() {
 			writeError(sw, http.StatusServiceUnavailable, "server is draining")
 		} else if r.Method != http.MethodGet {
 			sw.Header().Set("Allow", http.MethodGet)
@@ -287,60 +406,119 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 // rendered body in both tiers. Concurrent computations of the same key
 // collapse into one flight. The caller must already hold a compute
 // slot.
+//
+// Cancellation is mapped, not stringified: when a cell fails because
+// the request context ended (client gone, or the compute deadline
+// fired), the typed context error surfaces so handlers can answer 503
+// instead of 500 — the engine confines everything, cancellation
+// included, into Result.Err strings that errors.Is cannot see through.
+// A follower whose flight leader was cancelled retries under its own
+// still-live context rather than inheriting the leader's abort.
 func (s *Server) computeCell(ctx context.Context, key core.CellKey) ([]byte, error) {
 	addr := key.Encode()
-	body, err, _ := s.flight.do(addr, func() ([]byte, error) {
-		if b, ok := s.cache.lookup(addr); ok {
+	for {
+		body, err, shared := s.flight.do(addr, func() ([]byte, error) {
+			if b, ok := s.cache.lookup(addr); ok {
+				return b, nil
+			}
+			if b, ok := s.diskLoad(addr); ok {
+				return b, nil
+			}
+			if h := testComputeStall; h != nil {
+				h(key)
+			}
+			start := time.Now()
+			res, err := core.RunCell(ctx, key)
+			if err == nil && res.Failed() {
+				err = fmt.Errorf("cell %s: %s", addr, res.Err)
+			}
+			s.met.observeCompute(time.Since(start), err != nil)
+			if err != nil {
+				if ce := ctx.Err(); ce != nil {
+					err = ce
+				}
+				return nil, err
+			}
+			b := marshalLine(newCell(key, &res))
+			s.cache.put(addr, b)
+			s.diskWrite(addr, b)
 			return b, nil
+		})
+		if err != nil && shared && ctx.Err() == nil && isContextError(err) {
+			continue
 		}
-		if b, ok := s.diskLoad(addr); ok {
-			return b, nil
-		}
-		if h := testComputeStall; h != nil {
-			h(key)
-		}
-		start := time.Now()
-		res, err := core.RunCell(ctx, key)
-		if err == nil && res.Failed() {
-			err = fmt.Errorf("cell %s: %s", addr, res.Err)
-		}
-		s.met.observeCompute(time.Since(start), err != nil)
-		if err != nil {
-			return nil, err
-		}
-		b := marshalLine(newCell(key, &res))
-		s.cache.put(addr, b)
-		s.diskWrite(addr, b)
-		return b, nil
-	})
-	return body, err
+		return body, err
+	}
+}
+
+// isContextError reports whether err is a (wrapped) context
+// cancellation or deadline error.
+func isContextError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // diskLoad reads one body from the persistent tier, promoting a hit
 // into the in-memory LRU. Everything the store refuses — absent,
 // truncated, tampered, torn, cross-key aliased — is a plain miss; the
-// caller falls through to compute, never to an error.
+// caller falls through to compute, never to an error. IO-level
+// failures (as opposed to refused entries) feed the circuit breaker,
+// and while the breaker is open the disk is bypassed entirely: the
+// server degrades to memory-only rather than paying a failing disk's
+// latency on every request.
 func (s *Server) diskLoad(addr string) ([]byte, bool) {
 	if s.disk == nil {
 		return nil, false
 	}
-	b, ok := s.disk.Get(addr)
+	if !s.brk.allow() {
+		s.met.diskBypassed.Add(1)
+		return nil, false
+	}
+	b, ok, ioErr := s.disk.GetE(addr)
+	if ioErr != nil {
+		s.met.diskReadErrors.Add(1)
+		s.brk.fail()
+		return nil, false
+	}
 	if ok {
+		s.brk.ok()
 		s.cache.put(addr, b)
+	} else {
+		// A miss is only a weak health signal: it resolves a half-open
+		// probe (the IO path worked) but must not reset the closed
+		// state's failure count — see breaker.probeMiss.
+		s.brk.probeMiss()
 	}
 	return b, ok
 }
 
-// diskWrite persists one rendered body write-behind: a storage failure
-// costs the restart-warm guarantee for this cell, not the response, so
-// it only moves an error counter.
+// diskWrite persists one rendered body write-behind, retrying a failed
+// persist with exponential backoff (transient IO hiccups — a full
+// fsync queue, a momentary EIO — usually clear in milliseconds). A
+// write that exhausts its retries costs the restart-warm guarantee for
+// this cell, not the response: it moves an error counter and feeds the
+// circuit breaker, which after enough consecutive failures stops
+// touching the disk at all until a cooldown probe succeeds.
 func (s *Server) diskWrite(addr string, body []byte) {
 	if s.disk == nil {
 		return
 	}
-	if err := s.disk.Put(addr, body); err != nil {
-		s.met.diskWriteErrors.Add(1)
+	if !s.brk.allow() {
+		s.met.diskBypassed.Add(1)
+		return
 	}
+	for attempt := 0; ; attempt++ {
+		if err := s.disk.Put(addr, body); err == nil {
+			s.brk.ok()
+			return
+		}
+		if attempt >= s.opts.DiskRetries {
+			break
+		}
+		s.met.diskWriteRetries.Add(1)
+		time.Sleep(s.opts.DiskRetryBase << attempt)
+	}
+	s.met.diskWriteErrors.Add(1)
+	s.brk.fail()
 }
 
 // WarmUp precomputes the canonical none+stock grid — the paper's

@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"context"
+	"testing"
+)
+
+// TestPlanBindCancellation pins the checkpoint cancellation seam: a
+// plan bound to a context stops issuing checkpoints the moment the
+// context ends — the sweep's "a disconnected client stops compute
+// within one checkpoint" guarantee lives on this behavior.
+func TestPlanBindCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	plan := NewPlan(Policy{}, 2048).Bind(ctx)
+
+	n, ok := plan.Next()
+	if !ok || n != 256 {
+		t.Fatalf("first checkpoint = (%d, %v), want (256, true)", n, ok)
+	}
+	plan.Grade(false)
+	cancel()
+	if _, ok := plan.Next(); ok {
+		t.Fatal("Next issued a checkpoint after the bound context was cancelled")
+	}
+	if !plan.Cancelled() {
+		t.Fatal("Cancelled() = false after a cancelled Next")
+	}
+	if plan.Used() != 256 {
+		t.Fatalf("Used() = %d after cancellation, want the 256 already spent", plan.Used())
+	}
+}
+
+// TestPlanUnboundUnaffected pins that plans without Bind keep the old
+// behavior exactly: the ladder runs to the reference and Cancelled
+// stays false.
+func TestPlanUnboundUnaffected(t *testing.T) {
+	plan := NewPlan(Policy{}, 64)
+	for {
+		if _, ok := plan.Next(); !ok {
+			break
+		}
+		plan.Grade(false)
+	}
+	if plan.Used() != 64 || plan.Cancelled() {
+		t.Fatalf("unbound plan used %d, cancelled %v; want 64, false", plan.Used(), plan.Cancelled())
+	}
+}

@@ -35,6 +35,7 @@
 package stats
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -194,12 +195,14 @@ func (d Decision) String() string {
 // conservatively (only a full recovery counts), because a weak partial
 // signal at a starved budget is expected even on cells a defense holds.
 type Plan struct {
-	targets []int
-	i       int
-	used    int
-	graded  int
-	broken  bool
-	stopped bool
+	targets   []int
+	i         int
+	used      int
+	graded    int
+	broken    bool
+	stopped   bool
+	ctx       context.Context
+	cancelled bool
 }
 
 // NewPlan builds the checkpoint ladder for one pass: geometric doubling
@@ -228,9 +231,32 @@ func NewPlan(p Policy, reference int) *Plan {
 	return &Plan{targets: append(targets, reference)}
 }
 
+// Bind attaches a cancellation signal to the plan: once ctx is done,
+// Next refuses to issue further checkpoints and the plan reports
+// Cancelled. This is the SPRT ladder's cooperative-cancellation seam —
+// a scenario driving a bound plan stops extending its sample set
+// within one checkpoint of the context dying (a disconnected HTTP
+// client, a compute deadline), without the scenario knowing anything
+// about contexts. Bind returns the plan for call chaining; a nil ctx
+// leaves the plan unbound.
+func (pl *Plan) Bind(ctx context.Context) *Plan {
+	pl.ctx = ctx
+	return pl
+}
+
+// Cancelled reports whether the bound context died before the pass
+// finished — the caller must discard the pass's outcome (it measured a
+// truncated sample set) and surface the context's error instead.
+func (pl *Plan) Cancelled() bool { return pl.cancelled }
+
 // Next returns the next cumulative sample count to grade at, or false
-// when the pass is over (stopped on a recovery, or the ladder is done).
+// when the pass is over (stopped on a recovery, the ladder is done, or
+// the bound context was cancelled).
 func (pl *Plan) Next() (int, bool) {
+	if pl.ctx != nil && pl.ctx.Err() != nil {
+		pl.cancelled = true
+		return 0, false
+	}
 	if pl.stopped || pl.i >= len(pl.targets) {
 		return 0, false
 	}

@@ -43,6 +43,7 @@ import (
 	"github.com/intrust-sim/intrust/internal/defense"
 	"github.com/intrust-sim/intrust/internal/diskcache"
 	"github.com/intrust-sim/intrust/internal/engine"
+	"github.com/intrust-sim/intrust/internal/fault"
 	"github.com/intrust-sim/intrust/internal/isa"
 	"github.com/intrust-sim/intrust/internal/perf"
 	"github.com/intrust-sim/intrust/internal/serve"
@@ -545,12 +546,28 @@ type (
 	// disk versus computed, and why (new, changed inputs, invalid
 	// entry).
 	ResumeSummary = core.ResumeSummary
+	// FaultPlane is the deterministic fault-injection plane the chaos
+	// suite and the serve CLI's -fault flag arm: named failure points
+	// (disk.read, disk.write, disk.corrupt, engine.stall, engine.panic,
+	// listener.drop) firing on a seeded, bit-replayable schedule. A nil
+	// plane is inert, so production paths pay one nil check.
+	FaultPlane = fault.Plane
+	// FaultSpec configures one armed fault point (probability, skip
+	// count, fire limit, injected latency, error text).
+	FaultSpec = fault.Spec
 )
 
 // Service and cell-level entry points.
 var (
 	// NewService builds the sweep-as-a-service HTTP server.
 	NewService = serve.New
+	// NewFaultPlane builds a disarmed fault plane over a deterministic
+	// schedule seed; Arm points on it and pass it via
+	// ServiceOptions.Faults.
+	NewFaultPlane = fault.New
+	// ParseFaultPlan builds an armed fault plane from the -fault CLI
+	// plan syntax ("disk.write:p=1;engine.stall:delay=50ms").
+	ParseFaultPlan = fault.Parse
 	// ResolveCell canonicalizes one (scenario, arch, defense) request
 	// into its CellKey through the sweep's own axis parsers.
 	ResolveCell = core.ResolveCell
